@@ -1,0 +1,35 @@
+"""T-static — Matrix vs static partitioning on all three games (§4.1/4.2).
+
+Expected shape: "Matrix is able to automatically use extra servers to
+handle the load while the static partitioning schemes just fail."
+"""
+
+from common import SCALE, SEED, record, scaled_policy, scaled_schedule
+
+from repro.harness.compare import compare_all_games, format_comparison_table
+
+
+def test_static_vs_matrix_all_games(benchmark):
+    schedule = scaled_schedule()
+    rows = benchmark.pedantic(
+        lambda: compare_all_games(
+            schedule, policy=scaled_policy(), seed=SEED, scale=SCALE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_comparison_table(rows)
+    lines = [
+        f"T-static (scale={SCALE}): same hotspot workload on Matrix vs a "
+        f"fixed 2-server static partitioning",
+        table,
+    ]
+    record("table_static_vs_matrix", "\n".join(lines))
+
+    for row in rows:
+        assert row.matrix_wins, (
+            f"{row.game}: expected Matrix ok / static failing, got "
+            f"matrix.failed={row.matrix.failed} "
+            f"static.failed={row.static.failed}"
+        )
+        assert row.static.p99_latency > row.matrix.p99_latency

@@ -1,0 +1,68 @@
+"""Shared machinery for the benchmark suite.
+
+Every bench regenerates one figure/table of the paper.  The heavyweight
+simulation runs are cached per (scale, seed) so benches that share a
+run (Fig 2a and Fig 2b) only pay for it once.
+
+Scale: by default benches run at ``REPRO_BENCH_SCALE`` (default 0.25)
+of the paper's population, with policy thresholds and server capacity
+scaled identically — the dynamics (who splits, who saturates, where
+crossovers fall) are preserved while wall-clock time drops ~10x.  Set
+``REPRO_BENCH_SCALE=1.0`` to regenerate at full paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+
+from repro.core.config import LoadPolicyConfig
+from repro.games.profile import profile_by_name
+from repro.harness.compare import scaled_profile
+from repro.harness.experiment import ExperimentResult, MatrixExperiment
+from repro.harness.fig2 import Fig2Schedule, install_fig2_workload
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def scaled_policy(scale: float = SCALE) -> LoadPolicyConfig:
+    """The paper's 300/150 thresholds, scaled."""
+    return LoadPolicyConfig(
+        overload_clients=max(6, int(300 * scale)),
+        underload_clients=max(3, int(150 * scale)),
+    )
+
+
+def scaled_schedule(scale: float = SCALE) -> Fig2Schedule:
+    """The Fig 2 timeline with a scaled population."""
+    return Fig2Schedule().scaled(scale)
+
+
+def game_profile(name: str, scale: float = SCALE):
+    """A game profile with capacity scaled to the bench population."""
+    return scaled_profile(profile_by_name(name), scale)
+
+
+@lru_cache(maxsize=4)
+def fig2_result(
+    scale: float = SCALE, seed: int = SEED, game: str = "bzflag"
+) -> ExperimentResult:
+    """The (cached) Fig 2 hotspot run."""
+    schedule = scaled_schedule(scale)
+    experiment = MatrixExperiment(
+        game_profile(game, scale), policy=scaled_policy(scale), seed=seed
+    )
+    install_fig2_workload(experiment, schedule)
+    return experiment.run(until=schedule.duration)
+
+
+def record(name: str, text: str) -> None:
+    """Print a bench's table/figure and persist it under output/."""
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")

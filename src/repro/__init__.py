@@ -1,0 +1,58 @@
+"""repro — a faithful reproduction of *Matrix: Adaptive Middleware for
+Distributed Multiplayer Games* (Balan, Ebling, Castro, Misra;
+Middleware 2005).
+
+Package map
+-----------
+* :mod:`repro.sim` — deterministic discrete-event kernel.
+* :mod:`repro.net` — simulated network: latency models, bandwidth,
+  finite-rate receive queues, traffic accounting.
+* :mod:`repro.geometry` — vectors, rectangles, metrics, and the
+  overlap-region decomposition at the heart of Matrix routing.
+* :mod:`repro.core` — the middleware: Matrix servers, the Matrix
+  Coordinator, split/reclaim policy, and the developer-facing API.
+* :mod:`repro.games` — generic game server/client plus BzFlag, Quake 2
+  and Daimonin workload profiles.
+* :mod:`repro.workload` — mobility models and client fleets.
+* :mod:`repro.baselines` — static partitioning, mirrored servers,
+  peer-to-peer groups, DHT lookup.
+* :mod:`repro.analysis` — time series, statistics, ASCII plots, and
+  the §4.2 asymptotic scalability model.
+* :mod:`repro.harness` — runners that regenerate every figure and
+  table of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro.harness import Fig2Schedule, mini_fig2_policy, run_fig2
+>>> result = run_fig2(schedule=Fig2Schedule().scaled(0.05),
+...                   policy=mini_fig2_policy(0.05))
+>>> result.splits_completed > 0
+True
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    MatrixConfig,
+    MatrixCoordinator,
+    MatrixDeployment,
+    MatrixPort,
+    MatrixServer,
+    ServerPool,
+)
+from repro.geometry import Rect, Vec2
+from repro.harness import MatrixExperiment, run_fig2
+
+__all__ = [
+    "MatrixConfig",
+    "MatrixCoordinator",
+    "MatrixDeployment",
+    "MatrixExperiment",
+    "MatrixPort",
+    "MatrixServer",
+    "Rect",
+    "ServerPool",
+    "Vec2",
+    "__version__",
+    "run_fig2",
+]

@@ -1,0 +1,81 @@
+"""Small statistics helpers (no numpy dependency in the core library)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0–100) by linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high or ordered[low] == ordered[high]:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - formatting sugar
+        return (
+            f"n={self.count} mean={self.mean:.4g} min={self.minimum:.4g} "
+            f"p50={self.p50:.4g} p90={self.p90:.4g} "
+            f"p99={self.p99:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarise a non-empty sample."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    return Summary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        minimum=min(values),
+        p50=percentile(values, 50),
+        p90=percentile(values, 90),
+        p99=percentile(values, 99),
+        maximum=max(values),
+    )
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length samples.
+
+    Used by the bandwidth microbenchmark to assert "traffic corresponds
+    directly to the size of the overlap regions".
+    """
+    if len(xs) != len(ys):
+        raise ValueError("length mismatch")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0.0 or var_y == 0.0:
+        raise ValueError("zero variance")
+    return cov / math.sqrt(var_x * var_y)

@@ -1,0 +1,47 @@
+"""Baselines: static partitioning, mirrored servers, P2P, DHT lookup."""
+
+from repro.baselines.dht import (
+    LookupCost,
+    chord_expected_hops,
+    dht_lookup_cost,
+    overlap_table_cost,
+    sample_dht_lookup,
+)
+from repro.baselines.mirrored import (
+    MirrorServer,
+    MirroredCost,
+    max_clients_mirrored,
+    mirrored_cost,
+)
+from repro.baselines.p2p import (
+    DEFAULT_UPLINK_BYTES_PER_S,
+    P2PCost,
+    max_p2p_group,
+    p2p_group_cost,
+)
+from repro.baselines.static import (
+    StaticDeployment,
+    StaticResult,
+    StaticZoneRouter,
+    run_static_hotspot,
+)
+
+__all__ = [
+    "DEFAULT_UPLINK_BYTES_PER_S",
+    "LookupCost",
+    "MirrorServer",
+    "MirroredCost",
+    "P2PCost",
+    "StaticDeployment",
+    "StaticResult",
+    "StaticZoneRouter",
+    "chord_expected_hops",
+    "dht_lookup_cost",
+    "max_clients_mirrored",
+    "max_p2p_group",
+    "mirrored_cost",
+    "overlap_table_cost",
+    "p2p_group_cost",
+    "run_static_hotspot",
+    "sample_dht_lookup",
+]

@@ -1,0 +1,69 @@
+"""DHT-based routing lookup — the alternative §3.2.4 rejects.
+
+"Matrix could use alternate lookup methods (such as DHTs), but that
+would result in increased latency (e.g., DHT schemes usually need
+O(log(N)) lookups for N Matrix servers)."
+
+This module models a Chord-style lookup: resolving the server that owns
+a point costs ``ceil(log2 N) / 2`` expected overlay hops, each one LAN
+round trip.  The ablation bench plots lookup latency vs the overlap
+table's O(1) local lookup as the server count grows.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class LookupCost:
+    """Expected per-packet routing lookup cost."""
+
+    servers: int
+    expected_hops: float
+    expected_latency: float
+
+
+def chord_expected_hops(servers: int) -> float:
+    """Expected Chord lookup path length: ½·log2(N)."""
+    if servers < 1:
+        raise ValueError("need at least one server")
+    if servers == 1:
+        return 0.0
+    return math.log2(servers) / 2.0
+
+
+def dht_lookup_cost(
+    servers: int, hop_latency: float = 0.35e-3
+) -> LookupCost:
+    """Expected DHT lookup cost at *servers* nodes (LAN hop latency)."""
+    hops = chord_expected_hops(servers)
+    return LookupCost(
+        servers=servers,
+        expected_hops=hops,
+        expected_latency=hops * hop_latency,
+    )
+
+
+def overlap_table_cost(servers: int) -> LookupCost:
+    """Matrix's O(1) local table lookup: zero network hops."""
+    if servers < 1:
+        raise ValueError("need at least one server")
+    return LookupCost(servers=servers, expected_hops=0.0, expected_latency=0.0)
+
+
+def sample_dht_lookup(
+    servers: int, rng: random.Random, hop_latency: float = 0.35e-3
+) -> float:
+    """Sample one lookup latency: geometric-ish hop count × hop RTT.
+
+    Each hop halves the remaining identifier distance; the sampled hop
+    count is binomial around the expectation, truncated at log2 N.
+    """
+    if servers <= 1:
+        return 0.0
+    max_hops = int(math.ceil(math.log2(servers)))
+    hops = sum(1 for _ in range(max_hops) if rng.random() < 0.5)
+    return hops * hop_latency

@@ -1,0 +1,115 @@
+"""Mirrored fully-consistent servers — the commercial approach (§5).
+
+"Commercial MMOG systems ... allocate multiple tightly-coupled
+(completely consistent) servers to handle the same partition, an
+approach that is neither efficient nor very scalable."
+
+The model: ``k`` mirrors all hold the entire world; clients are
+load-balanced round-robin; *every* client packet must be replicated to
+the other ``k-1`` mirrors to keep them completely consistent.  Client
+capacity grows ~linearly in ``k`` but consistency traffic grows as
+``k·(k-1)``, which is the inefficiency the ablation bench plots against
+Matrix's overlap-only traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import SpatialPacket
+from repro.games.profile import GameProfile
+from repro.net.message import Message
+from repro.net.node import Node
+
+
+class MirrorServer(Node):
+    """One fully-consistent mirror of the whole game world.
+
+    A deliberately thin model: it terminates client updates and
+    replicates each one to its peer mirrors.  (Snapshot fan-out and
+    game logic are identical across the compared systems, so they are
+    left out of this baseline; the quantity under study is the
+    consistency traffic.)
+    """
+
+    def __init__(self, name: str, profile: GameProfile, peers: list[str]) -> None:
+        super().__init__(name, service_rate=profile.server_service_rate)
+        self._profile = profile
+        self._peers = [peer for peer in peers if peer != name]
+        self.client_packets = 0
+        self.replica_packets = 0
+
+    def set_peers(self, peers: list[str]) -> None:
+        """Install the mirror group (excluding this server)."""
+        self._peers = [peer for peer in peers if peer != self.name]
+
+    def handle_message(self, message: Message) -> None:
+        kind = message.kind
+        if kind in ("client.update", "client.action"):
+            self.client_packets += 1
+            for peer in self._peers:
+                self.send(
+                    peer,
+                    "mirror.replicate",
+                    message.payload,
+                    size_bytes=message.size_bytes,
+                )
+        elif kind == "mirror.replicate":
+            self.replica_packets += 1
+
+
+@dataclass(frozen=True, slots=True)
+class MirroredCost:
+    """Closed-form per-second costs of a k-mirror group."""
+
+    mirrors: int
+    clients: int
+    client_packets_per_second: float
+    replication_packets_per_second: float
+    per_mirror_load: float
+
+    @property
+    def replication_overhead(self) -> float:
+        """Replication packets per client packet."""
+        if self.client_packets_per_second == 0:
+            return 0.0
+        return (
+            self.replication_packets_per_second
+            / self.client_packets_per_second
+        )
+
+
+def mirrored_cost(
+    profile: GameProfile, clients: int, mirrors: int
+) -> MirroredCost:
+    """Closed-form cost of serving *clients* with *mirrors* mirrors.
+
+    Every client packet lands on one mirror and is replicated to the
+    other ``mirrors - 1``; each mirror therefore processes its own
+    share plus every other mirror's replication stream.
+    """
+    if mirrors < 1:
+        raise ValueError("need at least one mirror")
+    packet_rate = clients * (profile.update_hz + profile.action_rate)
+    replication = packet_rate * (mirrors - 1)
+    # Per mirror: its own share (rate/k) plus replicas of every other
+    # mirror's share ((k-1) * rate/k) — i.e. the full packet rate.
+    per_mirror = packet_rate / mirrors * (1 + (mirrors - 1))
+    return MirroredCost(
+        mirrors=mirrors,
+        clients=clients,
+        client_packets_per_second=packet_rate,
+        replication_packets_per_second=replication,
+        per_mirror_load=per_mirror,
+    )
+
+
+def max_clients_mirrored(profile: GameProfile, mirrors: int) -> int:
+    """Largest population a k-mirror group can serve.
+
+    Per-mirror load is ``rate/k * k = rate`` — adding mirrors does not
+    increase packet capacity at all (every mirror still sees every
+    packet), which is the §5 criticism in one line.
+    """
+    rate_per_client = profile.update_hz + profile.action_rate
+    return int(profile.server_service_rate / rate_per_client)

@@ -1,0 +1,78 @@
+"""Peer-to-peer region groups — the Knutsson-style alternative (§5).
+
+"players form localized groups and exchange messages directly with
+other players in the group ... these mechanisms are unable to
+effectively handle hotspots".
+
+The failure mode is bandwidth, not server capacity: within a region
+group every player sends its updates directly to every other member,
+so per-player *upload* grows linearly with group size.  A hotspot of
+600 co-located players would require each consumer uplink to carry
+599 update streams — orders of magnitude past a 2005 uplink.  This
+module provides the closed-form cost model the ablation bench plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.games.profile import GameProfile
+
+#: Consumer uplink of the paper's era: 256 kbit/s ≈ 32 kB/s.
+DEFAULT_UPLINK_BYTES_PER_S = 32_000.0
+
+
+@dataclass(frozen=True, slots=True)
+class P2PCost:
+    """Per-player costs of one p2p region group."""
+
+    group_size: int
+    upload_bytes_per_second: float
+    download_bytes_per_second: float
+    uplink_capacity: float
+
+    @property
+    def feasible(self) -> bool:
+        """True when a consumer uplink can carry the group."""
+        return self.upload_bytes_per_second <= self.uplink_capacity
+
+    @property
+    def uplink_utilisation(self) -> float:
+        """Upload requirement as a fraction of uplink capacity."""
+        return self.upload_bytes_per_second / self.uplink_capacity
+
+
+def p2p_group_cost(
+    profile: GameProfile,
+    group_size: int,
+    uplink_capacity: float = DEFAULT_UPLINK_BYTES_PER_S,
+) -> P2PCost:
+    """Cost of a fully-connected region group of *group_size* players."""
+    if group_size < 1:
+        raise ValueError("group must have at least one player")
+    packet_rate = profile.update_hz + profile.action_rate
+    mean_bytes = (
+        profile.update_bytes * profile.update_hz
+        + profile.action_bytes * profile.action_rate
+    ) / packet_rate
+    per_peer = packet_rate * mean_bytes
+    others = group_size - 1
+    return P2PCost(
+        group_size=group_size,
+        upload_bytes_per_second=per_peer * others,
+        download_bytes_per_second=per_peer * others,
+        uplink_capacity=uplink_capacity,
+    )
+
+
+def max_p2p_group(
+    profile: GameProfile,
+    uplink_capacity: float = DEFAULT_UPLINK_BYTES_PER_S,
+) -> int:
+    """Largest group a consumer uplink can sustain."""
+    size = 1
+    while p2p_group_cost(profile, size + 1, uplink_capacity).feasible:
+        size += 1
+        if size > 1 << 20:  # pragma: no cover - defensive
+            break
+    return size

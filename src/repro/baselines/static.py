@@ -1,0 +1,280 @@
+"""Static partitioning — the paper's comparator (§4.1).
+
+A fixed grid of game servers, each permanently owning one tile of the
+world.  Clients are homed by position and handed off when they cross
+tile borders, but the server set never changes: when a hotspot drives
+one tile's arrival rate past its service rate, that server's receive
+queue grows without bound (or drops packets once its queue cap is hit)
+— "the static partitioning schemes just fail" (§4.2).
+
+The implementation reuses the same :class:`~repro.games.base.GameServer`
+as the Matrix runs; only the middleware behind it differs: a
+:class:`StaticZoneRouter` stands in for the Matrix server.  It still
+routes overlap traffic between neighbouring tiles (computed once at
+startup) so the comparison isolates exactly one variable — the absence
+of dynamic repartitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.timeseries import Sampler, TimeSeries
+from repro.core.messages import DeliverPacket, SetRange, SpatialPacket
+from repro.games.base import GameServer
+from repro.games.profile import GameProfile
+from repro.geometry import (
+    Rect,
+    RegionIndex,
+    Vec2,
+    decompose_partition,
+    metric_by_name,
+    tile_world,
+)
+from repro.net.message import Message
+from repro.net.network import Network, lan_profile, wan_profile
+from repro.net.node import Node
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.workload.fleet import ClientFleet
+
+
+class StaticZoneRouter(Node):
+    """The fixed middleware tier of one static zone.
+
+    Accepts the same ``game.spatial`` / ``matrix.load`` traffic a
+    Matrix server would (the game server is byte-identical in both
+    systems) but never splits, never reclaims, never talks to a
+    coordinator.  Overlap routing between the fixed tiles is computed
+    once at startup.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        game_server: str,
+        partition: Rect,
+        table: RegionIndex,
+        router_of: dict[str, str],
+        directory: dict[str, Rect],
+        metric,
+        radius: float,
+        service_rate: float = 20000.0,
+    ) -> None:
+        super().__init__(name, service_rate=service_rate)
+        self._game_server = game_server
+        self._partition = partition
+        self._table = table
+        self._router_of = router_of  # zone owner id -> router node name
+        self._directory = directory
+        self._metric = metric
+        self._radius = radius
+        self.forwarded_packets = 0
+        self.delivered_packets = 0
+
+    @property
+    def partition(self) -> Rect:
+        """The fixed tile this router serves."""
+        return self._partition
+
+    def announce_range(self) -> None:
+        """Send the game server its (permanent) range + directory."""
+        directive = SetRange(
+            partition=self._partition, directory=dict(self._directory)
+        )
+        self.send(self._game_server, "gs.set_range", directive, size_bytes=128)
+
+    def handle_message(self, message: Message) -> None:
+        kind = message.kind
+        if kind == "game.spatial":
+            self._on_spatial(message)
+        elif kind == "matrix.forward":
+            self._on_forward(message)
+        # matrix.load reports are absorbed: nothing adapts here.
+
+    def _on_spatial(self, message: Message) -> None:
+        packet: SpatialPacket = message.payload
+        point = packet.route_point()
+        if not self._table.partition.contains(point):
+            return  # roaming client mid-handoff; its new zone handles it
+        for owner in self._table.lookup(point):
+            router = self._router_of.get(owner)
+            if router is not None:
+                self.send(
+                    router,
+                    "matrix.forward",
+                    packet,
+                    size_bytes=message.size_bytes,
+                )
+                self.forwarded_packets += 1
+
+    def _on_forward(self, message: Message) -> None:
+        packet: SpatialPacket = message.payload
+        reach = self._metric.expand_rect(self._partition, self._radius)
+        if not reach.contains_closed(packet.route_point()):
+            return
+        self.delivered_packets += 1
+        self.send(
+            self._game_server,
+            "matrix.deliver",
+            DeliverPacket(packet=packet),
+            size_bytes=message.size_bytes,
+        )
+
+
+@dataclass
+class StaticResult:
+    """Outcome of a static-partitioning run."""
+
+    profile_name: str
+    duration: float
+    clients_per_server: dict[str, TimeSeries]
+    queue_per_server: dict[str, TimeSeries]
+    dropped_packets: int
+    action_latencies: list[float]
+    switch_latencies: list[float]
+
+    def max_queue(self) -> float:
+        """Largest receive-queue sample across the fixed servers."""
+        peaks = [s.max() for s in self.queue_per_server.values() if len(s)]
+        return max(peaks) if peaks else 0.0
+
+
+class StaticDeployment:
+    """A fixed ``columns x rows`` grid of game servers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        profile: GameProfile,
+        columns: int = 2,
+        rows: int = 1,
+        queue_capacity: int | None = 20000,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.profile = profile
+        metric = metric_by_name(profile.metric_name, world=profile.world)
+        tiles = tile_world(profile.world, columns, rows)
+        zone_ids = [f"zone-{i + 1}" for i in range(len(tiles))]
+        partitions = dict(zip(zone_ids, tiles))
+        self.game_servers: dict[str, GameServer] = {}
+        self._routers: dict[str, StaticZoneRouter] = {}
+        router_of = {
+            zone: f"static-ms.{i + 1}" for i, zone in enumerate(zone_ids)
+        }
+        directory: dict[str, Rect] = {}
+
+        network.set_prefix_profile("client.", "gs.", wan_profile())
+        network.set_prefix_profile("gs.", "client.", wan_profile())
+        network.set_prefix_profile("static-ms.", "static-ms.", lan_profile())
+
+        for i, zone in enumerate(zone_ids):
+            gs_name = f"gs.{i + 1}"
+            directory[gs_name] = partitions[zone]
+        for i, zone in enumerate(zone_ids):
+            gs_name = f"gs.{i + 1}"
+            router_name = router_of[zone]
+            game_server = GameServer(
+                gs_name,
+                profile,
+                partitions[zone],
+                queue_capacity=queue_capacity,
+            )
+            network.add_node(game_server)
+            cells = decompose_partition(
+                zone, partitions, profile.visibility_radius, metric
+            )
+            table = RegionIndex(partitions[zone], cells)
+            router = StaticZoneRouter(
+                name=router_name,
+                game_server=gs_name,
+                partition=partitions[zone],
+                table=table,
+                router_of=router_of,
+                directory=directory,
+                metric=metric,
+                radius=profile.visibility_radius,
+            )
+            network.add_node(router)
+            network.set_colocated(gs_name, router_name)
+            game_server.bind_matrix(router_name, partitions[zone])
+            router.announce_range()
+            self.game_servers[gs_name] = game_server
+            self._routers[router_name] = router
+
+    def locate_game_server(self, point: Vec2) -> str:
+        """Owner of *point* among the fixed tiles."""
+        for gs_name, game_server in self.game_servers.items():
+            if game_server.map_range.contains(point):
+                return gs_name
+        raise LookupError(f"no tile contains {point}")
+
+    def dropped_packets(self) -> int:
+        """Packets dropped by saturated game-server queues."""
+        return sum(
+            gs.inbox.dropped_count for gs in self.game_servers.values()
+        )
+
+
+def run_static_hotspot(
+    profile: GameProfile,
+    schedule,
+    seed: int = 0,
+    columns: int = 2,
+    rows: int = 1,
+    queue_capacity: int | None = 20000,
+) -> StaticResult:
+    """Run the Fig 2 workload against a static grid (the T-static rows)."""
+    from repro.harness.fig2 import Fig2Schedule  # local: avoid cycle
+
+    assert isinstance(schedule, Fig2Schedule)
+    rng = RngRegistry(seed=seed)
+    sim = Simulator()
+    network = Network(sim, rng=rng.stream("network"))
+    deployment = StaticDeployment(
+        sim, network, profile, columns=columns, rows=rows,
+        queue_capacity=queue_capacity,
+    )
+    fleet = ClientFleet(
+        sim,
+        network,
+        profile,
+        locator=deployment.locate_game_server,
+        rng=rng.stream("fleet"),
+    )
+
+    from repro.harness.fig2 import install_fleet_workload
+
+    install_fleet_workload(fleet, profile, schedule)
+
+    def probes():
+        out = {}
+        for gs_name, handle in deployment.game_servers.items():
+            out[f"clients/{gs_name}"] = lambda h=handle: h.client_count
+            out[f"queue/{gs_name}"] = lambda h=handle: h.inbox.length
+        return out
+
+    sampler = Sampler(sim, 1.0, probes)
+    sim.run(until=schedule.duration)
+
+    clients = {
+        key.removeprefix("clients/"): series
+        for key, series in sampler.series.items()
+        if key.startswith("clients/")
+    }
+    queues = {
+        key.removeprefix("queue/"): series
+        for key, series in sampler.series.items()
+        if key.startswith("queue/")
+    }
+    return StaticResult(
+        profile_name=profile.name,
+        duration=schedule.duration,
+        clients_per_server=clients,
+        queue_per_server=queues,
+        dropped_packets=deployment.dropped_packets(),
+        action_latencies=fleet.all_action_latencies(),
+        switch_latencies=fleet.all_switch_latencies(),
+    )

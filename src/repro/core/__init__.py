@@ -1,0 +1,78 @@
+"""Matrix middleware core: coordinator, servers, policy, deployment."""
+
+from repro.core.api import GameServerHandle, MatrixPort
+from repro.core.config import LoadPolicyConfig, MatrixConfig, WireConfig
+from repro.core.coordinator import MatrixCoordinator, StandbyCoordinator
+from repro.core.deployment import GameServerFactory, MatrixDeployment, ServerEvent
+from repro.core.messages import (
+    ConsistencyQuery,
+    ConsistencyReply,
+    DeliverPacket,
+    LoadGossip,
+    LoadReport,
+    OverlapTableUpdate,
+    ReclaimAck,
+    ReclaimNotice,
+    ReclaimRequest,
+    RegisterServer,
+    SetRange,
+    SpatialPacket,
+    SplitGrant,
+    SplitNotice,
+    StateBegin,
+    StateChunk,
+    StateDone,
+    UnregisterServer,
+)
+from repro.core.policy import ChildLoad, Decision, LoadPolicy
+from repro.core.pool import ServerPool
+from repro.core.server import ChildRecord, Fabric, MatrixServer
+from repro.core.splitting import (
+    LoadWeighted,
+    LongestAxis,
+    SplitStrategy,
+    SplitToLeft,
+    strategy_by_name,
+)
+
+__all__ = [
+    "ChildLoad",
+    "ChildRecord",
+    "ConsistencyQuery",
+    "ConsistencyReply",
+    "Decision",
+    "DeliverPacket",
+    "Fabric",
+    "GameServerFactory",
+    "GameServerHandle",
+    "LoadGossip",
+    "LoadPolicy",
+    "LoadPolicyConfig",
+    "LoadReport",
+    "LoadWeighted",
+    "LongestAxis",
+    "MatrixConfig",
+    "MatrixCoordinator",
+    "MatrixDeployment",
+    "MatrixPort",
+    "MatrixServer",
+    "OverlapTableUpdate",
+    "ReclaimAck",
+    "ReclaimNotice",
+    "ReclaimRequest",
+    "RegisterServer",
+    "ServerEvent",
+    "ServerPool",
+    "SetRange",
+    "SpatialPacket",
+    "SplitGrant",
+    "SplitNotice",
+    "SplitStrategy",
+    "SplitToLeft",
+    "StandbyCoordinator",
+    "StateBegin",
+    "StateChunk",
+    "StateDone",
+    "UnregisterServer",
+    "WireConfig",
+]

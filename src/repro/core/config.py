@@ -1,0 +1,120 @@
+"""Configuration for a Matrix deployment.
+
+All tunables referenced in the paper live here with the paper's values
+as defaults: a server is *overloaded* at 300+ clients and *underloaded*
+below 150 (Fig 2 caption), game servers report load periodically
+(§3.2.2), and splits/reclamations are damped by "simple heuristics ...
+to prevent oscillations" (§3.2.3), expressed as cool-downs and
+consecutive-report requirements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Rect
+
+
+@dataclass(slots=True)
+class LoadPolicyConfig:
+    """Thresholds and hysteresis for split/reclaim decisions."""
+
+    #: Client count at which a game server counts as overloaded (paper: 300).
+    overload_clients: int = 300
+    #: Client count below which a game server counts as underloaded (paper: 150).
+    underload_clients: int = 150
+    #: Seconds between game-server load reports.
+    report_interval: float = 1.0
+    #: Overload must persist for this many consecutive reports before a split.
+    consecutive_overload_reports: int = 2
+    #: Underload (parent *and* child, merged fit included) must persist
+    #: for this many consecutive reports before a reclaim; filters the
+    #: transient dips a milling hotspot produces.
+    consecutive_underload_reports: int = 5
+    #: Minimum seconds between two splits by the same server.
+    split_cooldown: float = 4.0
+    #: Minimum seconds between two reclamations by the same server.
+    reclaim_cooldown: float = 8.0
+    #: A child must have lived this long before it can be reclaimed.
+    min_child_lifetime: float = 10.0
+    #: Reclaim only if (parent + child) clients <= factor * overload_clients.
+    #: 0.6 leaves the merged server at most at 60% of the overload
+    #: threshold, so a reclaim can never immediately trigger a re-split.
+    reclaim_combined_factor: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.underload_clients >= self.overload_clients:
+            raise ValueError(
+                "underload threshold must be below overload threshold"
+            )
+        if self.report_interval <= 0:
+            raise ValueError("report_interval must be positive")
+        if self.consecutive_overload_reports < 1:
+            raise ValueError("need at least one overload report")
+        if not 0.0 < self.reclaim_combined_factor <= 1.0:
+            raise ValueError("reclaim_combined_factor must be in (0, 1]")
+
+
+@dataclass(slots=True)
+class WireConfig:
+    """Byte sizes of protocol messages (for bandwidth accounting)."""
+
+    #: Fixed overhead added to every spatially tagged game packet.
+    spatial_tag_bytes: int = 24
+    #: Load report payload.
+    load_report_bytes: int = 32
+    #: Per-cell cost of an overlap-table update.
+    table_cell_bytes: int = 40
+    #: Per-entry cost of the game-server directory piggybacked on tables.
+    directory_entry_bytes: int = 24
+    #: Control messages (register, split grants, reclaim handshakes).
+    control_bytes: int = 64
+    #: Bytes per transferred map object during a split/reclaim.
+    state_object_bytes: int = 200
+    #: Chunk size for bulk state transfer.
+    state_chunk_bytes: int = 65536
+
+
+@dataclass(slots=True)
+class MatrixConfig:
+    """Top-level configuration of a Matrix deployment."""
+
+    #: The full game world.
+    world: Rect = field(default_factory=lambda: Rect(0.0, 0.0, 1000.0, 1000.0))
+    #: The game's radius of visibility (world units).
+    visibility_radius: float = 50.0
+    #: Exception radii (§3.1): "The Matrix API does allow game servers
+    #: to specify different visibility radii for exceptions, and
+    #: internally creates distinct sets of overlap regions, each for a
+    #: different R."  One extra overlap table is maintained per entry.
+    extra_radii: tuple = ()
+    #: Distance metric name (see :mod:`repro.geometry.metrics`).
+    metric_name: str = "euclidean"
+    #: Split strategy name (see :mod:`repro.core.splitting`).
+    split_strategy: str = "split-to-left"
+    #: Load policy knobs.
+    policy: LoadPolicyConfig = field(default_factory=LoadPolicyConfig)
+    #: Wire-format sizes.
+    wire: WireConfig = field(default_factory=WireConfig)
+    #: Matrix-server routing capacity (packets/second serviced).
+    matrix_service_rate: float = 20000.0
+    #: Seconds to provision a server host from the pool.
+    pool_acquire_delay: float = 1.0
+    #: Fixed startup time of a freshly spawned game+Matrix server pair.
+    server_spawn_delay: float = 1.5
+    #: Density of transferable map objects (objects per world-area unit).
+    map_object_density: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.visibility_radius < 0:
+            raise ValueError("visibility radius must be non-negative")
+        for radius in (self.visibility_radius, *self.extra_radii):
+            if radius * 2 >= min(self.world.width, self.world.height):
+                raise ValueError(
+                    "visibility radius too large relative to the world; "
+                    "localized consistency degenerates to global consistency"
+                )
+        if any(radius <= 0 for radius in self.extra_radii):
+            raise ValueError("extra radii must be positive")
+        if self.matrix_service_rate <= 0:
+            raise ValueError("matrix_service_rate must be positive")

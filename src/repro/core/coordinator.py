@@ -1,0 +1,282 @@
+"""The Matrix Coordinator (MC) — §3.2.4.
+
+The MC owns the authoritative map of ``Matrix server → partition`` and
+recomputes every server's overlap table whenever the partitioning
+changes (a server registers, splits, or is reclaimed).  Crucially it is
+*not* on the data path: packet routing uses the tables it pushed, so MC
+traffic stays a vanishing fraction of total traffic (microbenchmark
+M-mc asserts this).  The MC also answers the rare non-proximal
+consistency queries with the brute-force Equation-1 computation.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MatrixConfig
+from repro.core.messages import (
+    ConsistencyQuery,
+    ConsistencyReply,
+    OverlapTableUpdate,
+    ReclaimNotice,
+    RegisterServer,
+    SplitNotice,
+    UnregisterServer,
+)
+from repro.geometry import (
+    Rect,
+    consistency_set_at,
+    decompose_partition,
+    metric_by_name,
+)
+from repro.net.message import Message
+from repro.net.node import Node
+
+
+class MatrixCoordinator(Node):
+    """The central coordinator node (name: ``mc``)."""
+
+    def __init__(self, config: MatrixConfig, name: str = "mc") -> None:
+        super().__init__(name, service_rate=float("inf"))
+        self._config = config
+        self._metric = metric_by_name(config.metric_name, world=config.world)
+        self._partitions: dict[str, Rect] = {}
+        self._game_server_of: dict[str, str] = {}
+        self._radius = config.visibility_radius
+        self._version = 0
+        self._standby: str | None = None
+        self._sync_task = None
+        self.recompute_count = 0
+        self.query_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def partitions(self) -> dict[str, Rect]:
+        """Current Matrix-server → partition map (copy)."""
+        return dict(self._partitions)
+
+    @property
+    def version(self) -> int:
+        """Monotonic table version; bumps on every recompute."""
+        return self._version
+
+    @property
+    def server_count(self) -> int:
+        """Registered Matrix servers."""
+        return len(self._partitions)
+
+    def coverage_area(self) -> float:
+        """Total area covered by registered partitions (should equal
+        the world's area at all times — asserted by invariant tests)."""
+        return sum(rect.area for rect in self._partitions.values())
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        kind = message.kind
+        if kind == "mc.register":
+            self._on_register(message.payload)
+        elif kind == "mc.split":
+            self._on_split(message.payload)
+        elif kind == "mc.reclaim":
+            self._on_reclaim(message.payload)
+        elif kind == "mc.unregister":
+            self._on_unregister(message.payload)
+        elif kind == "mc.query":
+            self._on_query(message.src, message.payload)
+
+    def _on_register(self, reg: RegisterServer) -> None:
+        self._partitions[reg.matrix_server] = reg.partition
+        self._game_server_of[reg.matrix_server] = reg.game_server
+        self._radius = reg.visibility_radius
+        self._recompute_and_push()
+
+    def _on_split(self, notice: SplitNotice) -> None:
+        if notice.parent not in self._partitions:
+            return  # stale notice from a server we no longer know
+        self._partitions[notice.parent] = notice.parent_partition
+        self._partitions[notice.child] = notice.child_partition
+        self._game_server_of[notice.child] = notice.child_game_server
+        self._radius = notice.visibility_radius
+        self._recompute_and_push()
+
+    def _on_reclaim(self, notice: ReclaimNotice) -> None:
+        if notice.parent not in self._partitions:
+            return
+        self._partitions.pop(notice.child, None)
+        self._game_server_of.pop(notice.child, None)
+        self._partitions[notice.parent] = notice.merged_partition
+        self._recompute_and_push()
+
+    def _on_unregister(self, unreg: UnregisterServer) -> None:
+        self._partitions.pop(unreg.matrix_server, None)
+        self._game_server_of.pop(unreg.matrix_server, None)
+        self._recompute_and_push()
+
+    def _on_query(self, src: str, query: ConsistencyQuery) -> None:
+        self.query_count += 1
+        owner = None
+        for pid, rect in self._partitions.items():
+            if rect.contains(query.point):
+                owner = pid
+                break
+        servers = consistency_set_at(
+            query.point, owner, self._partitions, self._radius, self._metric
+        )
+        if owner is not None and query.exclude != owner:
+            # For a non-proximal interaction the owner of the remote
+            # point must also hear about it, not only its neighbours.
+            servers = servers | {owner}
+        servers = frozenset(s for s in servers if s != query.exclude)
+        reply = ConsistencyReply(request_id=query.request_id, servers=servers)
+        self.send(src, "mc.reply", reply, size_bytes=self._config.wire.control_bytes)
+
+    # ------------------------------------------------------------------
+    # Replication (§3.2.4: "The MC can also be made reliable using
+    # well understood replication techniques.")
+    # ------------------------------------------------------------------
+    def start_replication(self, standby: str, interval: float = 1.0) -> None:
+        """Mirror coordinator state to *standby* every *interval* s.
+
+        The sync doubles as a heartbeat: the standby promotes itself
+        when syncs stop arriving (see :class:`StandbyCoordinator`).
+        """
+        self._standby = standby
+        self._sync_task = self.sim.every(
+            interval, self._send_sync, start=self.sim.now
+        )
+
+    def shutdown(self) -> None:
+        """Stop periodic duties (crash simulation / end of run)."""
+        if self._sync_task is not None:
+            self._sync_task.stop()
+            self._sync_task = None
+
+    def _send_sync(self) -> None:
+        state = {
+            "partitions": dict(self._partitions),
+            "game_server_of": dict(self._game_server_of),
+            "radius": self._radius,
+            "version": self._version,
+        }
+        size = (
+            len(self._partitions) * 2 * self._config.wire.directory_entry_bytes
+            + self._config.wire.control_bytes
+        )
+        self.send(self._standby, "mc.sync", state, size_bytes=size)
+
+    # ------------------------------------------------------------------
+    # Table computation / distribution
+    # ------------------------------------------------------------------
+    def _recompute_and_push(self) -> None:
+        """Recompute all overlap tables and push them to every server.
+
+        §3.2.4: "The MC recomputes and redistributes overlap regions
+        every time a new Matrix server is used or whenever an existing
+        Matrix server is reclaimed."
+        """
+        self.recompute_count += 1
+        self._version += 1
+        directory = {
+            self._game_server_of[ms]: rect
+            for ms, rect in self._partitions.items()
+        }
+        server_map = dict(self._game_server_of)
+        wire = self._config.wire
+        # One distinct set of overlap regions per radius (§3.1): the
+        # game default plus any registered exception radii.
+        radii = {self._radius, *self._config.extra_radii}
+        for ms_name, partition in self._partitions.items():
+            tables = {
+                radius: decompose_partition(
+                    ms_name, self._partitions, radius, self._metric
+                )
+                for radius in radii
+            }
+            update = OverlapTableUpdate(
+                version=self._version,
+                partition=partition,
+                tables=tables,
+                default_radius=self._radius,
+                partitions=dict(self._partitions),
+                game_servers=directory,
+                server_map=server_map,
+            )
+            cell_count = sum(len(cells) for cells in tables.values())
+            size = (
+                cell_count * wire.table_cell_bytes
+                + len(self._partitions) * 2 * wire.directory_entry_bytes
+                + wire.control_bytes
+            )
+            self.send(ms_name, "mc.table", update, size_bytes=size)
+
+
+class StandbyCoordinator(MatrixCoordinator):
+    """A warm-standby MC replica.
+
+    Receives periodic state syncs from the primary.  When syncs stop
+    arriving for ``failover_timeout`` seconds, the standby promotes
+    itself: it adopts the mirrored state, announces the failover to
+    every Matrix server (which switch their coordinator address), and
+    recomputes/pushes fresh overlap tables.  This is the "well
+    understood replication technique" the paper gestures at, in its
+    simplest primary/backup form.
+    """
+
+    def __init__(
+        self,
+        config: MatrixConfig,
+        name: str = "mc-backup",
+        failover_timeout: float = 3.0,
+    ) -> None:
+        super().__init__(config, name=name)
+        self._failover_timeout = failover_timeout
+        self._last_sync: float | None = None
+        self._monitor = None
+        self.promoted = False
+
+    def start_monitoring(self, check_interval: float = 1.0) -> None:
+        """Begin watching the primary's sync heartbeats."""
+        self._monitor = self.sim.every(check_interval, self._check_primary)
+
+    def handle_message(self, message) -> None:
+        if message.kind == "mc.sync":
+            self._on_sync(message.payload)
+            return
+        if self.promoted:
+            super().handle_message(message)
+        # Before promotion every other MC message belongs to the
+        # primary; receiving one here is a misdirected stray — drop it.
+
+    def _on_sync(self, state: dict) -> None:
+        self._last_sync = self.sim.now
+        if self.promoted:
+            return  # a zombie primary's stale sync must not demote us
+        self._partitions = dict(state["partitions"])
+        self._game_server_of = dict(state["game_server_of"])
+        self._radius = state["radius"]
+        self._version = state["version"]
+
+    def _check_primary(self) -> None:
+        if self.promoted or self._last_sync is None:
+            return
+        if self.sim.now - self._last_sync < self._failover_timeout:
+            return
+        self._promote()
+
+    def _promote(self) -> None:
+        """Take over coordination after the primary went silent."""
+        self.promoted = True
+        if self._monitor is not None:
+            self._monitor.stop()
+        for ms_name in self._partitions:
+            self.send(
+                ms_name,
+                "mc.failover",
+                self.name,
+                size_bytes=self._config.wire.control_bytes,
+            )
+        # Fresh tables from the mirrored state (version bump included,
+        # so servers accept them over anything the dead primary sent).
+        self._recompute_and_push()

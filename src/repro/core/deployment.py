@@ -1,0 +1,248 @@
+"""Deployment fabric: wires Matrix servers, game servers, MC and pool.
+
+A :class:`MatrixDeployment` owns the runtime inventory of a Matrix-
+hosted game: it bootstraps the first Matrix+game server pair over the
+whole world, implements the :class:`~repro.core.server.Fabric` services
+(host acquisition, pair spawning, decommissioning), applies network
+profiles (LAN between servers, WAN to clients, loopback within a
+co-located pair), and records a spawn/decommission event log the
+experiment harness turns into Fig 2's annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.api import GameServerHandle
+from repro.core.config import MatrixConfig
+from repro.core.coordinator import MatrixCoordinator, StandbyCoordinator
+from repro.core.pool import ServerPool
+from repro.core.server import MatrixServer
+from repro.geometry import Rect, Vec2
+from repro.net.network import Network, lan_profile, wan_profile
+from repro.net.node import Node
+from repro.sim.kernel import Simulator
+
+#: Creates a game-server node for the given name and initial map range.
+#: The returned object must be a :class:`~repro.net.node.Node` that also
+#: satisfies :class:`~repro.core.api.GameServerHandle`.
+GameServerFactory = Callable[[str, Rect], Node]
+
+
+@dataclass(slots=True)
+class ServerEvent:
+    """One entry of the deployment's lifecycle log."""
+
+    time: float
+    kind: str  # "spawn" | "decommission"
+    matrix_server: str
+    game_server: str
+
+
+class MatrixDeployment:
+    """Runtime inventory + fabric services for one Matrix-hosted game."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: MatrixConfig,
+        game_server_factory: GameServerFactory,
+        pool: ServerPool | None = None,
+        pool_capacity: int = 16,
+        replicated_mc: bool = False,
+        mc_failover_timeout: float = 3.0,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self._factory = game_server_factory
+        self.pool = pool or ServerPool(
+            sim, capacity=pool_capacity, acquire_delay=config.pool_acquire_delay
+        )
+        self.coordinator = MatrixCoordinator(config)
+        network.add_node(self.coordinator)
+        self.standby_coordinator: StandbyCoordinator | None = None
+        if replicated_mc:
+            self.standby_coordinator = StandbyCoordinator(
+                config, failover_timeout=mc_failover_timeout
+            )
+            network.add_node(self.standby_coordinator)
+            network.set_prefix_profile("mc", "mc", lan_profile())
+            self.coordinator.start_replication(self.standby_coordinator.name)
+            self.standby_coordinator.start_monitoring()
+        self.matrix_servers: dict[str, MatrixServer] = {}
+        self.game_servers: dict[str, GameServerHandle] = {}
+        self.events: list[ServerEvent] = []
+        self._pair_counter = 0
+        self._install_profiles()
+
+    def fail_coordinator(self) -> None:
+        """Crash the primary MC (fault-injection hook for tests/benches).
+
+        With ``replicated_mc`` the standby notices the missing sync
+        heartbeats and promotes itself; without it, the deployment can
+        no longer repartition (but the data path keeps working — the
+        MC is not on it).
+        """
+        self.coordinator.shutdown()
+        self.network.remove_node(self.coordinator.name)
+
+    def _install_profiles(self) -> None:
+        net = self.network
+        net.set_prefix_profile("ms.", "ms.", lan_profile())
+        net.set_prefix_profile("ms.", "mc", lan_profile())
+        net.set_prefix_profile("mc", "ms.", lan_profile())
+        net.set_prefix_profile("client.", "gs.", wan_profile())
+        net.set_prefix_profile("gs.", "client.", wan_profile())
+        net.set_prefix_profile("gs.", "gs.", lan_profile())
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    def bootstrap(self) -> tuple[MatrixServer, GameServerHandle]:
+        """Create the initial pair owning the entire world (server 1)."""
+        ms, gs = self._create_pair(self.config.world, parent=None, host_id="host-0")
+        ms.register_with_coordinator()
+        return ms, gs
+
+    def bootstrap_grid(
+        self, columns: int, rows: int
+    ) -> list[tuple[MatrixServer, GameServerHandle]]:
+        """Create a pre-partitioned grid of pairs (microbenchmarks).
+
+        Production Matrix always starts from one server and splits on
+        demand; the grid bootstrap exists so microbenchmarks can study
+        a fixed multi-server layout without first manufacturing load.
+        """
+        from repro.geometry import tile_world
+
+        pairs = []
+        for index, tile in enumerate(tile_world(self.config.world, columns, rows)):
+            ms, gs = self._create_pair(
+                tile, parent=None, host_id=f"host-grid-{index}"
+            )
+            ms.register_with_coordinator()
+            pairs.append((ms, gs))
+        return pairs
+
+    def _create_pair(
+        self, partition: Rect, parent: str | None, host_id: str
+    ) -> tuple[MatrixServer, GameServerHandle]:
+        self._pair_counter += 1
+        n = self._pair_counter
+        ms_name = f"ms.{n}"
+        gs_name = f"gs.{n}"
+        game_server = self._factory(gs_name, partition)
+        self.network.add_node(game_server)
+        matrix_server = MatrixServer(
+            name=ms_name,
+            game_server=gs_name,
+            config=self.config,
+            fabric=self,
+            partition=partition,
+            parent=parent,
+            host_id=host_id,
+        )
+        self.network.add_node(matrix_server)
+        self.network.set_colocated(ms_name, gs_name)
+        game_server.bind_matrix(ms_name, partition)
+        self.matrix_servers[ms_name] = matrix_server
+        self.game_servers[gs_name] = game_server
+        self.events.append(
+            ServerEvent(self.sim.now, "spawn", ms_name, gs_name)
+        )
+        return matrix_server, game_server
+
+    # ------------------------------------------------------------------
+    # Fabric services (called by Matrix servers)
+    # ------------------------------------------------------------------
+    def acquire_host(self, callback: Callable[[str | None], None]) -> None:
+        """Delegate to the server pool (the 'non-Matrix external entity')."""
+        self.pool.try_acquire(callback)
+
+    def spawn_pair(
+        self,
+        host_id: str,
+        partition: Rect,
+        parent: str,
+        callback: Callable[[str, str], None],
+    ) -> None:
+        """Boot a new Matrix+game server pair after the spawn delay."""
+
+        def create() -> None:
+            ms, gs = self._create_pair(partition, parent=parent, host_id=host_id)
+            callback(ms.name, gs.name)
+
+        self.sim.after(self.config.server_spawn_delay, create)
+
+    def decommission_pair(self, matrix_name: str, host_id: str) -> None:
+        """Remove a reclaimed pair and return its host to the pool.
+
+        A short grace period lets straggler in-flight messages drain
+        into the void instead of a dead handler.
+        """
+        matrix_server = self.matrix_servers.get(matrix_name)
+        if matrix_server is None:
+            return
+        gs_name = matrix_server.game_server
+
+        def remove() -> None:
+            self.network.remove_node(matrix_name)
+            self.network.remove_node(gs_name)
+            self.matrix_servers.pop(matrix_name, None)
+            self.game_servers.pop(gs_name, None)
+            self.pool.release(host_id)
+
+        self.events.append(
+            ServerEvent(self.sim.now, "decommission", matrix_name, gs_name)
+        )
+        self.sim.after(0.25, remove)
+
+    def client_positions(self, game_server: str):
+        """Split-time read of a game server's client positions."""
+        handle = self.game_servers.get(game_server)
+        if handle is None:
+            return []
+        return handle.client_positions()
+
+    # ------------------------------------------------------------------
+    # Lobby / directory services (used by workload generators)
+    # ------------------------------------------------------------------
+    def locate_game_server(self, point: Vec2) -> str:
+        """Game server whose partition contains *point* (login path).
+
+        During a reclaim there is a brief window where the dying child's
+        region is not yet covered by the parent's merged partition; the
+        lobby then answers with the nearest live partition, which is the
+        parent in that window.
+        """
+        best_name: str | None = None
+        best_distance = float("inf")
+        for matrix_server in self.matrix_servers.values():
+            if matrix_server.dying:
+                continue
+            if matrix_server.partition.contains(point):
+                return matrix_server.game_server
+            distance = matrix_server.partition.distance_to_point(point)
+            if distance < best_distance:
+                best_distance = distance
+                best_name = matrix_server.game_server
+        if best_name is None:
+            raise LookupError(f"no live partition near {point}")
+        return best_name
+
+    def live_server_names(self) -> list[str]:
+        """Names of Matrix servers that are alive and not being reclaimed."""
+        return [
+            name
+            for name, server in self.matrix_servers.items()
+            if not server.dying
+        ]
+
+    def total_clients(self) -> int:
+        """Clients across all live game servers (from handles)."""
+        return sum(
+            handle.client_count for handle in self.game_servers.values()
+        )

@@ -1,0 +1,694 @@
+"""The Matrix server (§3.2.3) — "the heart of our distributed middleware".
+
+Responsibilities implemented here, mirroring the paper:
+
+* **Routing** — on a spatially tagged packet from the co-located game
+  server, an O(1) overlap-table lookup yields the consistency set; the
+  packet is forwarded to those peers, which verify its range and hand
+  it to their own game servers.
+* **Splitting** — on sustained overload, acquire a host from the pool,
+  split the partition (default: split-to-left), spawn a child Matrix
+  server + game server pair, transfer the map state, then atomically
+  announce the new ranges to the MC.  Purely local decisions; recursion
+  happens naturally because the policy keeps firing while overloaded.
+* **Reclamation** — on sustained underload, reclaim the youngest
+  childless child (LIFO keeps merged partitions rectangular), evacuate
+  its clients to the parent's game server, transfer state back, release
+  the host to the pool, and announce the merge to the MC.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.core.config import MatrixConfig
+from repro.core.messages import (
+    ConsistencyQuery,
+    ConsistencyReply,
+    DeliverPacket,
+    LoadGossip,
+    LoadReport,
+    OverlapTableUpdate,
+    ReclaimAck,
+    ReclaimNotice,
+    ReclaimRequest,
+    RegisterServer,
+    SetRange,
+    SpatialPacket,
+    SplitGrant,
+    SplitNotice,
+    StateBegin,
+    StateChunk,
+    StateDone,
+)
+from repro.core.policy import ChildLoad, Decision, LoadPolicy
+from repro.core.splitting import SplitStrategy, strategy_by_name
+from repro.geometry import Rect, RegionIndex, Vec2, metric_by_name
+from repro.net.message import Message
+from repro.net.node import Node
+
+
+class Fabric(Protocol):
+    """Deployment services a Matrix server calls out to.
+
+    These model out-of-band infrastructure: the server pool's
+    provisioning workflow and the local game server's own data (client
+    positions are read only at split time, to place a load-weighted
+    cut).
+    """
+
+    def acquire_host(self, callback) -> None:
+        """Request a spare host; callback gets a host id or ``None``."""
+
+    def spawn_pair(self, host_id: str, partition: Rect, parent: str, callback) -> None:
+        """Create a Matrix+game server pair; callback gets (ms, gs) names."""
+
+    def decommission_pair(self, matrix_name: str, host_id: str) -> None:
+        """Remove a reclaimed pair from the network, free its host."""
+
+    def client_positions(self, game_server: str) -> Sequence[Vec2]:
+        """Positions of the clients on *game_server* (split-time only)."""
+
+
+@dataclass(slots=True)
+class ChildRecord:
+    """Bookkeeping for one spawned child (LIFO reclaim stack entry)."""
+
+    matrix_name: str
+    game_server: str
+    host_id: str
+    born_at: float
+
+
+@dataclass(slots=True)
+class _IncomingTransfer:
+    sender: str
+    total_chunks: int  # 0 until the StateBegin arrives
+    received: int
+    context: str
+
+
+class MatrixServer(Node):
+    """One Matrix middleware server, co-located with one game server."""
+
+    _transfer_ids = itertools.count(1)
+    _query_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        name: str,
+        game_server: str,
+        config: MatrixConfig,
+        fabric: Fabric,
+        partition: Rect,
+        parent: str | None = None,
+        host_id: str = "host-0",
+        coordinator: str = "mc",
+        strategy: SplitStrategy | None = None,
+    ) -> None:
+        super().__init__(name, service_rate=config.matrix_service_rate)
+        self._config = config
+        self._metric = metric_by_name(config.metric_name, world=config.world)
+        self._game_server = game_server
+        self._fabric = fabric
+        self._partition = partition
+        self._parent = parent
+        self._host_id = host_id
+        self._coordinator = coordinator
+        self._strategy = strategy or strategy_by_name(config.split_strategy)
+        self._policy = LoadPolicy(config.policy)
+
+        # One overlap table per visibility radius (§3.1): the default
+        # plus any exception radii the game registered.
+        self._tables: dict[float, RegionIndex] = {}
+        self._default_radius = config.visibility_radius
+        self._table_version = 0
+        self._partitions: dict[str, Rect] = {}
+        self._directory: dict[str, Rect] = {}
+        self._server_map: dict[str, str] = {}
+
+        self._children: list[ChildRecord] = []
+        self._child_loads: dict[str, ChildLoad] = {}
+        self._busy = False
+        self._dying = False
+        self._client_count = 0
+
+        # Split-in-flight context.
+        self._pending_kept: Rect | None = None
+        self._pending_given: Rect | None = None
+        self._pending_host: str | None = None
+        self._pending_child: tuple[str, str] | None = None
+        # Transfers.
+        self._outgoing: dict[int, str] = {}  # transfer id -> context
+        self._incoming: dict[int, _IncomingTransfer] = {}
+        # Reclaim-in-flight context (on the parent side).
+        self._reclaiming: ChildRecord | None = None
+        # Non-proximal query relay: mc request id -> (gs request id).
+        self._query_relay: dict[int, int] = {}
+
+        # Statistics the harness and benches read.
+        self.radius_fallbacks = 0
+        self.forwarded_packets = 0
+        self.delivered_packets = 0
+        self.stale_forwards = 0
+        self.misrouted_packets = 0
+        self.local_only_packets = 0
+        self.failed_splits = 0
+        self.splits_completed = 0
+        self.reclaims_completed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def partition(self) -> Rect:
+        """The map range this server currently manages."""
+        return self._partition
+
+    @property
+    def game_server(self) -> str:
+        """Name of the co-located game server."""
+        return self._game_server
+
+    @property
+    def parent(self) -> str | None:
+        """Name of the Matrix server that spawned this one."""
+        return self._parent
+
+    @property
+    def children(self) -> list[ChildRecord]:
+        """Live children, oldest first (copy)."""
+        return list(self._children)
+
+    @property
+    def host_id(self) -> str:
+        """Pool host this server runs on."""
+        return self._host_id
+
+    @property
+    def policy(self) -> LoadPolicy:
+        """The split/reclaim policy state machine."""
+        return self._policy
+
+    @property
+    def table_version(self) -> int:
+        """Version of the installed overlap table (0 = none yet)."""
+        return self._table_version
+
+    @property
+    def busy(self) -> bool:
+        """True while a split or reclaim is in flight."""
+        return self._busy
+
+    @property
+    def dying(self) -> bool:
+        """True once this server is being reclaimed."""
+        return self._dying
+
+    @property
+    def client_count(self) -> int:
+        """Client count from the latest game-server load report."""
+        return self._client_count
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def register_with_coordinator(self) -> None:
+        """Announce this server's map range to the MC (bootstrap only;
+        splits/reclaims are announced atomically by the parent)."""
+        reg = RegisterServer(
+            matrix_server=self.name,
+            game_server=self._game_server,
+            partition=self._partition,
+            visibility_radius=self._config.visibility_radius,
+        )
+        self.send(
+            self._coordinator,
+            "mc.register",
+            reg,
+            size_bytes=self._config.wire.control_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        kind = message.kind
+        if kind == "game.spatial":
+            self._on_spatial(message)
+        elif kind == "matrix.forward":
+            self._on_forward(message)
+        elif kind == "matrix.load":
+            self._on_load_report(message.payload)
+        elif kind == "matrix.gossip":
+            self._on_gossip(message.payload)
+        elif kind == "mc.table":
+            self._on_table(message.payload)
+        elif kind == "mc.failover":
+            # A standby coordinator promoted itself; follow it.
+            self._coordinator = message.payload
+        elif kind == "matrix.query":
+            self._on_game_query(message.payload)
+        elif kind == "mc.reply":
+            self._on_mc_reply(message.payload)
+        elif kind == "matrix.ctl.split_grant":
+            self._on_split_grant(message.payload)
+        elif kind == "matrix.state.begin":
+            self._on_state_begin(message.src, message.payload)
+        elif kind == "matrix.state.chunk":
+            self._on_state_chunk(message.src, message.payload)
+        elif kind == "matrix.state.done":
+            self._on_state_done(message.payload)
+        elif kind == "matrix.ctl.reclaim_req":
+            self._on_reclaim_request(message.src, message.payload)
+        elif kind == "matrix.ctl.reclaim_nack":
+            self._on_reclaim_nack()
+        elif kind == "matrix.ctl.reclaim_ack":
+            self._on_reclaim_ack(message.payload)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    @property
+    def _table(self) -> RegionIndex | None:
+        """The default-radius overlap table (None until the first push)."""
+        return self._tables.get(self._default_radius)
+
+    def _table_for(self, radius: float | None) -> RegionIndex | None:
+        """The overlap table for *radius* (default when None/unknown).
+
+        An unknown exception radius falls back to the default table —
+        counted, so operators can see mis-registered radii.
+        """
+        if radius is None:
+            return self._table
+        table = self._tables.get(radius)
+        if table is None:
+            self.radius_fallbacks += 1
+            return self._table
+        return table
+
+    def _on_spatial(self, message: Message) -> None:
+        """Route a tagged packet from the local game server (§3.1)."""
+        packet: SpatialPacket = message.payload
+        table = self._table_for(packet.radius)
+        if table is None:
+            # Single-server game (or table not yet received): no peers.
+            self.local_only_packets += 1
+            return
+        point = packet.route_point()
+        targets: set[str] = set()
+        if table.partition.contains(point):
+            targets.update(table.lookup(point))
+        else:
+            # The client has not been redirected yet (split in
+            # progress): hand the packet to the partition owner.
+            owner = self._owner_of(point)
+            if owner is not None and owner != self.name:
+                self.misrouted_packets += 1
+                targets.add(owner)
+        if packet.dest is not None and not self._partition.contains(packet.dest):
+            # Packet explicitly addressed to a remote point (projectile
+            # impact, targeted ability): its owner must process it too.
+            owner = self._owner_of(packet.dest)
+            if owner is not None and owner != self.name:
+                targets.add(owner)
+        for peer in targets:
+            self.send(peer, "matrix.forward", packet, size_bytes=message.size_bytes)
+            self.forwarded_packets += 1
+
+    def _on_forward(self, message: Message) -> None:
+        """A packet from a peer: verify its range, pass to the game
+        server (§3.2.3: 'after verifying the packet's range')."""
+        packet: SpatialPacket = message.payload
+        radius = (
+            packet.radius
+            if packet.radius is not None
+            else self._config.visibility_radius
+        )
+        reach = self._metric.expand_rect(self._partition, radius)
+        relevant = reach.contains_closed(packet.route_point()) or (
+            packet.dest is not None and self._partition.contains(packet.dest)
+        )
+        if not relevant:
+            self.stale_forwards += 1
+            return
+        self.delivered_packets += 1
+        self.send(
+            self._game_server,
+            "matrix.deliver",
+            DeliverPacket(packet=packet),
+            size_bytes=message.size_bytes,
+        )
+
+    def _owner_of(self, point: Vec2) -> str | None:
+        for ms_name, rect in self._partitions.items():
+            if rect.contains(point):
+                return ms_name
+        return None
+
+    # ------------------------------------------------------------------
+    # Table installation
+    # ------------------------------------------------------------------
+    def _on_table(self, update: OverlapTableUpdate) -> None:
+        if update.version <= self._table_version:
+            return  # stale push ordering
+        self._table_version = update.version
+        self._partition = update.partition
+        self._default_radius = update.default_radius
+        self._tables = {
+            radius: RegionIndex(update.partition, cells)
+            for radius, cells in update.tables.items()
+        }
+        self._partitions = update.partitions
+        self._directory = update.game_servers
+        self._server_map = update.server_map
+        directive = SetRange(
+            partition=update.partition, directory=dict(self._directory)
+        )
+        size = (
+            len(self._directory) * self._config.wire.directory_entry_bytes
+            + self._config.wire.control_bytes
+        )
+        self.send(self._game_server, "gs.set_range", directive, size_bytes=size)
+
+    # ------------------------------------------------------------------
+    # Load management
+    # ------------------------------------------------------------------
+    def _on_load_report(self, report: LoadReport) -> None:
+        if self._dying:
+            return
+        self._client_count = report.client_count
+        if self._parent is not None:
+            gossip = LoadGossip(
+                server=self.name,
+                client_count=report.client_count,
+                has_children=bool(self._children),
+                timestamp=self.sim.now,
+            )
+            self.send(
+                self._parent,
+                "matrix.gossip",
+                gossip,
+                size_bytes=self._config.wire.load_report_bytes,
+            )
+        youngest = self._youngest_child_load()
+        decision = self._policy.on_load_report(
+            self.sim.now, report.client_count, youngest, self._busy
+        )
+        if decision is Decision.SPLIT:
+            self._begin_split()
+        elif decision is Decision.RECLAIM:
+            self._begin_reclaim()
+
+    def _youngest_child_load(self) -> ChildLoad | None:
+        if not self._children:
+            return None
+        child = self._children[-1]
+        load = self._child_loads.get(child.matrix_name)
+        if load is None:
+            return None  # no gossip yet; not reclaimable
+        return load
+
+    def _on_gossip(self, gossip: LoadGossip) -> None:
+        for child in self._children:
+            if child.matrix_name == gossip.server:
+                self._child_loads[gossip.server] = ChildLoad(
+                    client_count=gossip.client_count,
+                    has_children=gossip.has_children,
+                    born_at=child.born_at,
+                    reported_at=gossip.timestamp,
+                )
+                return
+
+    # ------------------------------------------------------------------
+    # Split orchestration
+    # ------------------------------------------------------------------
+    def _begin_split(self) -> None:
+        self._busy = True
+        self._policy.note_split(self.sim.now)
+        self._fabric.acquire_host(self._on_host_acquired)
+
+    def _on_host_acquired(self, host_id: str | None) -> None:
+        if self._dying:
+            self._busy = False
+            return
+        if host_id is None:
+            # Pool exhausted: Matrix degrades to static behaviour here.
+            self.failed_splits += 1
+            self._busy = False
+            return
+        positions = self._fabric.client_positions(self._game_server)
+        kept, given = self._strategy.split(self._partition, positions)
+        self._pending_kept = kept
+        self._pending_given = given
+        self._pending_host = host_id
+        self._fabric.spawn_pair(host_id, given, self.name, self._on_child_ready)
+
+    def _on_child_ready(self, child_ms: str, child_gs: str) -> None:
+        if self._pending_given is None:  # defensive: cancelled split
+            return
+        self._pending_child = (child_ms, child_gs)
+        grant = SplitGrant(
+            parent=self.name,
+            child_partition=self._pending_given,
+            parent_partition=self._pending_kept,
+        )
+        self.send(
+            child_ms,
+            "matrix.ctl.split_grant",
+            grant,
+            size_bytes=self._config.wire.control_bytes,
+        )
+        self._start_state_transfer(child_ms, self._pending_given, context="split")
+
+    def _start_state_transfer(self, peer: str, area_rect: Rect, context: str) -> None:
+        """Send the dynamic map state for *area_rect* to *peer* (§3.2.2:
+        map objects are forwarded via Matrix; static assets like
+        textures are pre-cached and only pointers travel)."""
+        wire = self._config.wire
+        object_count = max(
+            1, int(area_rect.area * self._config.map_object_density)
+        )
+        total_bytes = object_count * wire.state_object_bytes
+        total_chunks = max(1, -(-total_bytes // wire.state_chunk_bytes))
+        transfer_id = next(self._transfer_ids)
+        self._outgoing[transfer_id] = context
+        begin = StateBegin(
+            transfer_id=transfer_id,
+            total_chunks=total_chunks,
+            total_bytes=total_bytes,
+            context=context,
+        )
+        self.send(
+            peer, "matrix.state.begin", begin, size_bytes=wire.control_bytes
+        )
+        remaining = total_bytes
+        for index in range(total_chunks):
+            chunk_bytes = min(wire.state_chunk_bytes, remaining)
+            remaining -= chunk_bytes
+            self.send(
+                peer,
+                "matrix.state.chunk",
+                StateChunk(transfer_id=transfer_id, index=index),
+                size_bytes=chunk_bytes,
+            )
+
+    def _on_state_begin(self, src: str, begin: StateBegin) -> None:
+        # Chunks and the begin travel independently and may reorder, so
+        # a transfer record may already exist with buffered chunks.
+        transfer = self._incoming.get(begin.transfer_id)
+        if transfer is None:
+            transfer = _IncomingTransfer(
+                sender=src, total_chunks=0, received=0, context=""
+            )
+            self._incoming[begin.transfer_id] = transfer
+        transfer.sender = src
+        transfer.total_chunks = begin.total_chunks
+        transfer.context = begin.context
+        self._maybe_complete_transfer(begin.transfer_id)
+
+    def _on_state_chunk(self, src: str, chunk: StateChunk) -> None:
+        transfer = self._incoming.get(chunk.transfer_id)
+        if transfer is None:
+            # Chunk overtook its StateBegin: buffer the count.
+            transfer = _IncomingTransfer(
+                sender=src, total_chunks=0, received=0, context=""
+            )
+            self._incoming[chunk.transfer_id] = transfer
+        transfer.received += 1
+        self._maybe_complete_transfer(chunk.transfer_id)
+
+    def _maybe_complete_transfer(self, transfer_id: int) -> None:
+        transfer = self._incoming.get(transfer_id)
+        if transfer is None or transfer.total_chunks <= 0:
+            return
+        if transfer.received < transfer.total_chunks:
+            return
+        del self._incoming[transfer_id]
+        self.send(
+            transfer.sender,
+            "matrix.state.done",
+            StateDone(transfer_id=transfer_id),
+            size_bytes=self._config.wire.control_bytes,
+        )
+
+    def _on_state_done(self, done: StateDone) -> None:
+        context = self._outgoing.pop(done.transfer_id, None)
+        if context == "split":
+            self._finalize_split()
+        elif context == "reclaim":
+            self._finalize_reclaim_child()
+
+    def _finalize_split(self) -> None:
+        child_ms, child_gs = self._pending_child
+        self._partition = self._pending_kept
+        self._children.append(
+            ChildRecord(
+                matrix_name=child_ms,
+                game_server=child_gs,
+                host_id=self._pending_host,
+                born_at=self.sim.now,
+            )
+        )
+        notice = SplitNotice(
+            parent=self.name,
+            parent_partition=self._pending_kept,
+            child=child_ms,
+            child_game_server=child_gs,
+            child_partition=self._pending_given,
+            visibility_radius=self._config.visibility_radius,
+        )
+        self.send(
+            self._coordinator,
+            "mc.split",
+            notice,
+            size_bytes=self._config.wire.control_bytes,
+        )
+        self._pending_kept = None
+        self._pending_given = None
+        self._pending_host = None
+        self._pending_child = None
+        self.splits_completed += 1
+        self._busy = False
+
+    def _on_split_grant(self, grant: SplitGrant) -> None:
+        # The child was constructed with its partition already; the
+        # grant confirms the parent relationship for the protocol's sake.
+        self._parent = grant.parent
+
+    # ------------------------------------------------------------------
+    # Reclaim orchestration
+    # ------------------------------------------------------------------
+    def _begin_reclaim(self) -> None:
+        child = self._children[-1]
+        self._busy = True
+        self._reclaiming = child
+        self._policy.note_reclaim(self.sim.now)
+        request = ReclaimRequest(
+            parent=self.name, parent_game_server=self._game_server
+        )
+        self.send(
+            child.matrix_name,
+            "matrix.ctl.reclaim_req",
+            request,
+            size_bytes=self._config.wire.control_bytes,
+        )
+
+    def _on_reclaim_request(self, src: str, request: ReclaimRequest) -> None:
+        if self._busy or self._children:
+            # Mid-split, or we have children of our own: refuse.
+            self.send(
+                src,
+                "matrix.ctl.reclaim_nack",
+                None,
+                size_bytes=self._config.wire.control_bytes,
+            )
+            return
+        self._busy = True
+        self._dying = True
+        # Evacuate our clients to the parent's game server, then send
+        # the dynamic state back.
+        self.send(
+            self._game_server,
+            "gs.evacuate",
+            request.parent_game_server,
+            size_bytes=self._config.wire.control_bytes,
+        )
+        self._start_state_transfer(request.parent, self._partition, "reclaim")
+
+    def _finalize_reclaim_child(self) -> None:
+        """Child side: state is back at the parent; announce and die."""
+        ack = ReclaimAck(
+            child=self.name,
+            child_partition=self._partition,
+            client_count=self._client_count,
+        )
+        self.send(
+            self._parent,
+            "matrix.ctl.reclaim_ack",
+            ack,
+            size_bytes=self._config.wire.control_bytes,
+        )
+
+    def _on_reclaim_nack(self) -> None:
+        self._reclaiming = None
+        self._busy = False
+
+    def _on_reclaim_ack(self, ack: ReclaimAck) -> None:
+        child = self._reclaiming
+        if child is None or child.matrix_name != ack.child:
+            return
+        self._partition = self._partition.union_bounds(ack.child_partition)
+        self._children = [
+            c for c in self._children if c.matrix_name != ack.child
+        ]
+        self._child_loads.pop(ack.child, None)
+        notice = ReclaimNotice(
+            parent=self.name,
+            merged_partition=self._partition,
+            child=ack.child,
+        )
+        self.send(
+            self._coordinator,
+            "mc.reclaim",
+            notice,
+            size_bytes=self._config.wire.control_bytes,
+        )
+        self._fabric.decommission_pair(child.matrix_name, child.host_id)
+        self._reclaiming = None
+        self.reclaims_completed += 1
+        self._busy = False
+
+    # ------------------------------------------------------------------
+    # Non-proximal queries (§3.2.4)
+    # ------------------------------------------------------------------
+    def _on_game_query(self, query: ConsistencyQuery) -> None:
+        mc_id = next(self._query_ids)
+        self._query_relay[mc_id] = query.request_id
+        relayed = ConsistencyQuery(
+            point=query.point, exclude=self.name, request_id=mc_id
+        )
+        self.send(
+            self._coordinator,
+            "mc.query",
+            relayed,
+            size_bytes=self._config.wire.control_bytes,
+        )
+
+    def _on_mc_reply(self, reply: ConsistencyReply) -> None:
+        gs_request = self._query_relay.pop(reply.request_id, None)
+        if gs_request is None:
+            return
+        game_servers = frozenset(
+            self._server_map[ms] for ms in reply.servers if ms in self._server_map
+        )
+        out = ConsistencyReply(request_id=gs_request, servers=game_servers)
+        self.send(
+            self._game_server,
+            "gs.query_reply",
+            out,
+            size_bytes=self._config.wire.control_bytes,
+        )

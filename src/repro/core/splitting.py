@@ -1,0 +1,122 @@
+"""Map-splitting strategies (§3.2.3).
+
+The paper ships "a simple 'split-to-left' splitting technique where each
+map is split into two equal pieces with the left piece handed off to the
+new server", and §5 notes more optimal splitters exist [8, 14, 15].
+This module implements the paper's strategy plus two of those
+alternatives for the ablation bench:
+
+* ``split-to-left``  — equal halves along x; left half leaves (paper).
+* ``longest-axis``   — equal halves along the partition's longer axis,
+  which keeps partitions square-ish and overlap perimeter small.
+* ``load-weighted``  — split along the longest axis at the median of the
+  current client positions, so each side inherits ~half the *load*
+  rather than half the *area* (locality-aware, in the spirit of [8]).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.geometry import Rect, Vec2
+
+
+class SplitStrategy(ABC):
+    """Chooses how an overloaded partition is divided.
+
+    :meth:`split` returns ``(kept, given)``: the sub-partition the
+    overloaded server keeps and the one handed to the new server.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def split(
+        self, partition: Rect, client_positions: Sequence[Vec2]
+    ) -> tuple[Rect, Rect]:
+        """Divide *partition*; *client_positions* may inform the cut."""
+
+
+class SplitToLeft(SplitStrategy):
+    """The paper's strategy: equal halves, left piece handed off."""
+
+    name = "split-to-left"
+
+    def split(
+        self, partition: Rect, client_positions: Sequence[Vec2]
+    ) -> tuple[Rect, Rect]:
+        left, right = partition.halves("x")
+        return right, left
+
+
+class LongestAxis(SplitStrategy):
+    """Equal halves along the longer axis; the lower/left piece leaves.
+
+    Splitting the longer axis keeps aspect ratios bounded, which keeps
+    the overlap-region perimeter (and hence consistency traffic) small.
+    """
+
+    name = "longest-axis"
+
+    def split(
+        self, partition: Rect, client_positions: Sequence[Vec2]
+    ) -> tuple[Rect, Rect]:
+        axis = "x" if partition.width >= partition.height else "y"
+        low, high = partition.halves(axis)
+        return high, low
+
+
+class LoadWeighted(SplitStrategy):
+    """Split at the client-position median along the longest axis.
+
+    Keeps roughly half the *clients* on each side, so one split usually
+    resolves an overload instead of a split cascade.  The cut is clamped
+    away from the edges so neither piece degenerates.
+    """
+
+    name = "load-weighted"
+
+    #: Keep the cut at least this fraction away from either edge.
+    edge_margin = 0.1
+
+    def split(
+        self, partition: Rect, client_positions: Sequence[Vec2]
+    ) -> tuple[Rect, Rect]:
+        axis = "x" if partition.width >= partition.height else "y"
+        if axis == "x":
+            lo, hi = partition.xmin, partition.xmax
+            coords = sorted(p.x for p in client_positions)
+        else:
+            lo, hi = partition.ymin, partition.ymax
+            coords = sorted(p.y for p in client_positions)
+
+        if coords:
+            cut = coords[len(coords) // 2]
+        else:
+            cut = (lo + hi) / 2.0
+        margin = (hi - lo) * self.edge_margin
+        cut = min(max(cut, lo + margin), hi - margin)
+
+        if axis == "x":
+            low, high = partition.split_vertical(cut)
+        else:
+            low, high = partition.split_horizontal(cut)
+        return high, low
+
+
+STRATEGIES: dict[str, type[SplitStrategy]] = {
+    SplitToLeft.name: SplitToLeft,
+    LongestAxis.name: LongestAxis,
+    LoadWeighted.name: LoadWeighted,
+}
+
+
+def strategy_by_name(name: str) -> SplitStrategy:
+    """Instantiate a split strategy by its registry name."""
+    try:
+        return STRATEGIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown split strategy {name!r}; known: {sorted(STRATEGIES)}"
+        ) from None

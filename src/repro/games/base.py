@@ -1,0 +1,550 @@
+"""Generic game server and client.
+
+The paper's three test games differ only in workload parameters (world,
+rates, sizes — see :mod:`repro.games.profile`); the actual server/client
+machinery they share is implemented once here:
+
+* :class:`GameServer` — owns the clients inside its map range, processes
+  their updates/actions, emits personalised snapshots, feeds every
+  packet through its :class:`~repro.core.api.MatrixPort` (spatial
+  tagging), reports load, and executes Matrix's range directives by
+  redirecting clients to peer game servers.
+* :class:`GameClient` — joins a server, moves via a pluggable mobility
+  model, sends updates and actions, measures response latency from
+  snapshot acks, and follows server-switch directives (clients are
+  "unaware of Matrix", §3.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence
+
+from repro.core.api import MatrixPort
+from repro.core.messages import SpatialPacket
+from repro.games.grid import SpatialGrid
+from repro.games.packets import (
+    ActionEvent,
+    Goodbye,
+    Hello,
+    PlayerUpdate,
+    Snapshot,
+    SwitchDirective,
+    Welcome,
+)
+from repro.games.profile import GameProfile
+from repro.geometry import Rect, Vec2
+from repro.net.message import Message
+from repro.net.node import Node
+
+#: Control-plane message kinds that jump the game server's data queue.
+CONTROL_KINDS = frozenset({"gs.set_range", "gs.evacuate", "gs.query_reply"})
+
+
+class MobilityModel(Protocol):
+    """Pluggable client movement (see :mod:`repro.workload.mobility`)."""
+
+    def step(self, position: Vec2, dt: float) -> Vec2:
+        """Next position after *dt* seconds."""
+
+
+@dataclass(slots=True)
+class ClientRecord:
+    """Server-side state for one connected client."""
+
+    client_id: str
+    position: Vec2
+    last_seq: int = 0
+    processed_seq: int = 0
+    joined_at: float = 0.0
+    last_seen: float = 0.0
+
+
+class GameServer(Node):
+    """A game server homed on one Matrix partition."""
+
+    def __init__(
+        self,
+        name: str,
+        profile: GameProfile,
+        partition: Rect,
+        report_interval: float = 1.0,
+        handoff_margin_fraction: float = 0.25,
+        queue_capacity: int | None = None,
+    ) -> None:
+        super().__init__(
+            name,
+            service_rate=profile.server_service_rate,
+            priority_kinds=CONTROL_KINDS,
+            queue_capacity=queue_capacity,
+        )
+        self._profile = profile
+        self._range = partition
+        self._report_interval = report_interval
+        # Handoff hysteresis: a roaming client is only switched once it
+        # wanders this far *outside* the range, so border loiterers do
+        # not flap between two servers every few ticks.  The margin is
+        # well inside the visibility radius, so overlap-region routing
+        # still reaches every server that must stay consistent.
+        self._handoff_margin = handoff_margin_fraction * profile.visibility_radius
+        self._clients: dict[str, ClientRecord] = {}
+        #: Recently departed clients -> the game server they moved to.
+        self._tombstones: dict[str, str] = {}
+        self._directory: dict[str, Rect] = {}
+        #: Remote entities mirrored from peers: id -> (position, expiry).
+        self._ghosts: dict[str, tuple[Vec2, float]] = {}
+        self._grid = SpatialGrid(cell_size=profile.visibility_radius)
+        self._snapshot_seq = 0
+        self._tasks: list = []
+
+        self.port = MatrixPort(self, profile.visibility_radius)
+        self.port.on_deliver = self._on_remote_packet
+        self.port.on_set_range = self._on_set_range
+
+        # Statistics.
+        self.switches_initiated = 0
+        self.updates_processed = 0
+        self.actions_processed = 0
+        self.remote_updates_seen = 0
+        self.remote_actions_seen = 0
+        self.snapshots_sent = 0
+
+    # ------------------------------------------------------------------
+    # GameServerHandle protocol
+    # ------------------------------------------------------------------
+    @property
+    def client_count(self) -> int:
+        """Clients currently homed here (Fig 2a plots this per server)."""
+        return len(self._clients)
+
+    def client_positions(self) -> Sequence[Vec2]:
+        """Positions of homed clients (read by split strategies)."""
+        return [record.position for record in self._clients.values()]
+
+    def bind_matrix(self, matrix_name: str, partition: Rect) -> None:
+        """Attach to Matrix and start periodic duties."""
+        self.port.bind(matrix_name)
+        self._range = partition
+        self._tasks.append(
+            self.sim.every(self._report_interval, self._report_load)
+        )
+        self._tasks.append(
+            self.sim.every(1.0 / self._profile.snapshot_hz, self._snapshot_tick)
+        )
+
+    @property
+    def map_range(self) -> Rect:
+        """The map range this server currently owns."""
+        return self._range
+
+    @property
+    def directory(self) -> dict[str, Rect]:
+        """Last known game-server directory (from Matrix)."""
+        return dict(self._directory)
+
+    def shutdown(self) -> None:
+        """Stop periodic tasks (when decommissioned or at run end)."""
+        for task in self._tasks:
+            task.stop()
+        self._tasks.clear()
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        if self.port.handle(message):
+            return
+        kind = message.kind
+        if kind == "client.update":
+            self._on_client_update(message)
+        elif kind == "client.action":
+            self._on_client_action(message)
+        elif kind == "client.hello":
+            self._on_client_hello(message)
+        elif kind == "client.bye":
+            self._on_client_bye(message.payload)
+        elif kind == "gs.evacuate":
+            self._evacuate_all(message.payload)
+
+    def _on_client_hello(self, message: Message) -> None:
+        hello: Hello = message.payload
+        self._tombstones.pop(hello.client_id, None)
+        self._clients[hello.client_id] = ClientRecord(
+            client_id=hello.client_id,
+            position=hello.position,
+            joined_at=self.sim.now,
+            last_seen=self.sim.now,
+        )
+        welcome = Welcome(client_id=hello.client_id, server_range=self._range)
+        self.send(message.src, "gs.welcome", welcome, size_bytes=64)
+        # A hello for a position we no longer own gets redirected right
+        # away (stale lobby data or a racing split).
+        if not self._range.contains(hello.position):
+            self._redirect(hello.client_id)
+
+    def _on_client_update(self, message: Message) -> None:
+        update: PlayerUpdate = message.payload
+        record = self._clients.get(update.client_id)
+        if record is None:
+            target = self._tombstones.get(update.client_id)
+            if target is not None:
+                # Straggler from a switched client: remind it.
+                directive = SwitchDirective(
+                    client_id=update.client_id, target=target
+                )
+                self.send(message.src, "gs.switch", directive, size_bytes=64)
+            return
+        record.position = update.position
+        record.last_seq = update.seq
+        record.last_seen = self.sim.now
+        self.updates_processed += 1
+        self.port.send_spatial(
+            origin=update.position,
+            payload=update,
+            payload_bytes=self._profile.update_bytes,
+            client_id=update.client_id,
+        )
+        if not self._range.expanded(self._handoff_margin).contains(
+            update.position
+        ):
+            self._redirect(update.client_id)
+
+    def _on_client_action(self, message: Message) -> None:
+        action: ActionEvent = message.payload
+        record = self._clients.get(action.client_id)
+        if record is None:
+            return
+        record.processed_seq = max(record.processed_seq, action.seq)
+        record.last_seen = self.sim.now
+        self.actions_processed += 1
+        self.port.send_spatial(
+            origin=action.position,
+            dest=action.target,
+            payload=action,
+            payload_bytes=self._profile.action_bytes,
+            client_id=action.client_id,
+        )
+
+    def _on_client_bye(self, goodbye: Goodbye) -> None:
+        self._clients.pop(goodbye.client_id, None)
+        self._tombstones.pop(goodbye.client_id, None)
+
+    # ------------------------------------------------------------------
+    # Matrix directives
+    # ------------------------------------------------------------------
+    def _on_set_range(self, directive) -> None:
+        self._range = directive.partition
+        self._directory = directive.directory
+        for client_id in [
+            cid
+            for cid, record in self._clients.items()
+            if not self._range.contains(record.position)
+        ]:
+            self._redirect(client_id)
+
+    def _evacuate_all(self, target: str) -> None:
+        """Matrix reclaim: push every client to the parent's server."""
+        for client_id in list(self._clients):
+            self._redirect(client_id, forced_target=target)
+        self.shutdown()
+
+    def _redirect(self, client_id: str, forced_target: str | None = None) -> None:
+        record = self._clients.get(client_id)
+        if record is None:
+            return
+        if forced_target is not None:
+            target = forced_target
+        else:
+            target = self._owner_of(record.position)
+            if target is None or target == self.name:
+                return
+        directive = SwitchDirective(client_id=client_id, target=target)
+        self.send(client_id, "gs.switch", directive, size_bytes=64)
+        del self._clients[client_id]
+        self._tombstones[client_id] = target
+        self.switches_initiated += 1
+
+    def _owner_of(self, point: Vec2) -> str | None:
+        for gs_name, rect in self._directory.items():
+            if rect.contains(point):
+                return gs_name
+        return None
+
+    # ------------------------------------------------------------------
+    # Remote packets (via Matrix)
+    # ------------------------------------------------------------------
+    def _on_remote_packet(self, packet: SpatialPacket) -> None:
+        payload = packet.payload
+        expiry = self.sim.now + self._profile.ghost_lifetime
+        if isinstance(payload, PlayerUpdate):
+            self.remote_updates_seen += 1
+            self._ghosts[payload.client_id] = (payload.position, expiry)
+        elif isinstance(payload, ActionEvent):
+            self.remote_actions_seen += 1
+            self._ghosts[payload.client_id] = (payload.position, expiry)
+
+    # ------------------------------------------------------------------
+    # Periodic duties
+    # ------------------------------------------------------------------
+    def _report_load(self) -> None:
+        self._prune_dead_clients()
+        if self.port.bound:
+            self.port.report_load(len(self._clients), self.inbox.length)
+
+    def _prune_dead_clients(self) -> None:
+        """Drop clients that have gone silent (disconnect detection).
+
+        A goodbye can be lost or mis-addressed while a client is
+        mid-switch, so — like any real game server — liveness is also
+        enforced by timeout: a client whose updates stopped for several
+        update periods is considered gone.
+        """
+        timeout = 4.0 / self._profile.update_hz + 2.0
+        now = self.sim.now
+        stale = [
+            client_id
+            for client_id, record in self._clients.items()
+            if now - max(record.last_seen, record.joined_at) > timeout
+        ]
+        for client_id in stale:
+            del self._clients[client_id]
+
+    def _snapshot_tick(self) -> None:
+        """Send one personalised snapshot to every client."""
+        profile = self._profile
+        now = self.sim.now
+        self._snapshot_seq += 1
+        grid = self._grid
+        grid.clear()
+        for record in self._clients.values():
+            grid.insert(record.client_id, record.position)
+        expired = [
+            ghost_id
+            for ghost_id, (_, expiry) in self._ghosts.items()
+            if expiry <= now
+        ]
+        for ghost_id in expired:
+            del self._ghosts[ghost_id]
+        for ghost_id, (position, _) in self._ghosts.items():
+            grid.insert(ghost_id, position)
+        for record in self._clients.values():
+            visible = grid.count_within(
+                record.position,
+                profile.visibility_radius,
+                cap=profile.max_visible_entities,
+                exclude_id=record.client_id,
+            )
+            snapshot = Snapshot(
+                client_id=record.client_id,
+                seq=self._snapshot_seq,
+                visible_entities=visible,
+                processed_seq=record.processed_seq,
+            )
+            size = (
+                profile.snapshot_base_bytes
+                + profile.snapshot_per_entity_bytes * visible
+            )
+            self.send(record.client_id, "gs.snapshot", snapshot, size_bytes=size)
+            self.snapshots_sent += 1
+
+
+class GameClient(Node):
+    """A game client: mobility, updates, actions, server switching."""
+
+    def __init__(
+        self,
+        name: str,
+        profile: GameProfile,
+        mobility: MobilityModel,
+        rng,
+        relocate: Callable[[Vec2], str] | None = None,
+        switch_timeout: float = 5.0,
+    ) -> None:
+        super().__init__(name)
+        self._profile = profile
+        self._mobility = mobility
+        self._rng = rng
+        self._relocate = relocate
+        self._switch_timeout = switch_timeout
+        self._server: str | None = None
+        self._pending: str | None = None
+        self._switch_started: float | None = None
+        self._position = Vec2(0.0, 0.0)
+        self._seq = 0
+        self._action_seq = 0
+        self._pending_actions: dict[int, float] = {}
+        self._update_task = None
+        self.active = False
+
+        # Statistics the user-study and microbenches read.
+        self.updates_sent = 0
+        self.actions_sent = 0
+        self.snapshots_received = 0
+        self.switches_completed = 0
+        self.action_latencies: list[float] = []
+        self.switch_latencies: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> Vec2:
+        """Current world position."""
+        return self._position
+
+    @property
+    def server(self) -> str | None:
+        """The game server currently serving this client."""
+        return self._server
+
+    @property
+    def switching(self) -> bool:
+        """True while mid-handoff between servers."""
+        return self._pending is not None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def join(self, game_server: str, position: Vec2) -> None:
+        """Connect to *game_server* at *position*."""
+        self._position = position
+        hello = Hello(client_id=self.name, position=position, switching=False)
+        self.send(game_server, "client.hello", hello,
+                  size_bytes=self._profile.hello_bytes)
+
+    def leave(self) -> None:
+        """Leave the game."""
+        for server in {self._server, self._pending} - {None}:
+            self.send(
+                server, "client.bye", Goodbye(client_id=self.name),
+                size_bytes=32,
+            )
+        if self._update_task is not None:
+            self._update_task.stop()
+            self._update_task = None
+        self.active = False
+        self._server = None
+        self._pending = None
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        kind = message.kind
+        if kind == "gs.welcome":
+            self._on_welcome(message)
+        elif kind == "gs.switch":
+            self._on_switch(message.payload)
+        elif kind == "gs.snapshot":
+            self._on_snapshot(message.payload)
+
+    def _on_welcome(self, message: Message) -> None:
+        welcome: Welcome = message.payload
+        if self._pending is not None and message.src == self._pending:
+            self._server = self._pending
+            self._pending = None
+            if self._switch_started is not None:
+                self.switch_latencies.append(self.sim.now - self._switch_started)
+                self._switch_started = None
+            self.switches_completed += 1
+            return
+        if self._server is None:
+            self._server = message.src
+            if not self.active:
+                self.active = True
+                period = 1.0 / self._profile.update_hz
+                self._update_task = self.sim.every(
+                    period,
+                    self._update_tick,
+                    start=self.sim.now + self._rng.uniform(0.0, period),
+                )
+
+    def _on_switch(self, directive: SwitchDirective) -> None:
+        if directive.target in (self._server, self._pending):
+            return
+        self._pending = directive.target
+        self._switch_started = self.sim.now
+        # In-flight actions die with the old connection (UDP-game
+        # semantics); keeping them would mis-attribute the whole
+        # handoff gap to "response latency".
+        self._pending_actions.clear()
+        hello = Hello(client_id=self.name, position=self._position, switching=True)
+        self.send(directive.target, "client.hello", hello,
+                  size_bytes=self._profile.hello_bytes)
+        self.sim.after(self._switch_timeout, self._check_switch_stuck)
+
+    def _check_switch_stuck(self) -> None:
+        """Recover from a handoff to a server that died mid-switch."""
+        if self._pending is None or not self.active:
+            return
+        if (
+            self._switch_started is not None
+            and self.sim.now - self._switch_started < self._switch_timeout
+        ):
+            return
+        self._pending = None
+        self._switch_started = None
+        if self._relocate is not None:
+            target = self._relocate(self._position)
+            self._server = None
+            self.join(target, self._position)
+
+    def _on_snapshot(self, snapshot: Snapshot) -> None:
+        self.snapshots_received += 1
+        acked = [
+            seq
+            for seq in self._pending_actions
+            if seq <= snapshot.processed_seq
+        ]
+        for seq in acked:
+            self.action_latencies.append(
+                self.sim.now - self._pending_actions.pop(seq)
+            )
+
+    # ------------------------------------------------------------------
+    # Update loop
+    # ------------------------------------------------------------------
+    def _update_tick(self) -> None:
+        if not self.active or self._server is None or self._pending is not None:
+            return
+        profile = self._profile
+        dt = 1.0 / profile.update_hz
+        self._position = self._mobility.step(self._position, dt)
+        self._seq += 1
+        update = PlayerUpdate(
+            client_id=self.name, position=self._position, seq=self._seq
+        )
+        self.send(
+            self._server, "client.update", update,
+            size_bytes=profile.update_bytes,
+        )
+        self.updates_sent += 1
+        if self._rng.random() < profile.action_rate / profile.update_hz:
+            self._send_action()
+
+    def _send_action(self) -> None:
+        profile = self._profile
+        self._action_seq += 1
+        target = None
+        if (
+            profile.remote_action_fraction > 0
+            and self._rng.random() < profile.remote_action_fraction
+        ):
+            world = profile.world
+            target = Vec2(
+                self._rng.uniform(world.xmin, world.xmax - 1e-9),
+                self._rng.uniform(world.ymin, world.ymax - 1e-9),
+            )
+        action = ActionEvent(
+            client_id=self.name,
+            action="fire",
+            position=self._position,
+            seq=self._action_seq,
+            target=target,
+        )
+        self._pending_actions[self._action_seq] = self.sim.now
+        self.send(
+            self._server, "client.action", action,
+            size_bytes=profile.action_bytes,
+        )
+        self.actions_sent += 1

@@ -1,0 +1,44 @@
+"""Spatial substrate: vectors, rectangles, metrics, overlap regions."""
+
+from repro.geometry.metrics import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    Metric,
+    ToroidalMetric,
+    metric_by_name,
+)
+from repro.geometry.rect import Rect, tile_world
+from repro.geometry.regions import (
+    ConsistencySet,
+    OverlapCell,
+    OverlapRegion,
+    RegionIndex,
+    compute_overlap_map,
+    consistency_set_at,
+    decompose_partition,
+    group_regions,
+    point_rect_distance,
+)
+from repro.geometry.vec import Vec2
+
+__all__ = [
+    "ChebyshevMetric",
+    "ConsistencySet",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "Metric",
+    "OverlapCell",
+    "OverlapRegion",
+    "Rect",
+    "RegionIndex",
+    "ToroidalMetric",
+    "Vec2",
+    "compute_overlap_map",
+    "consistency_set_at",
+    "decompose_partition",
+    "group_regions",
+    "metric_by_name",
+    "point_rect_distance",
+    "tile_world",
+]

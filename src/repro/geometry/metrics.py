@@ -1,0 +1,136 @@
+"""Game-specific distance metrics.
+
+The paper lets each game define its own distance metric ``d(x, y)`` over
+the game world.  The Matrix overlap-region machinery only needs two
+operations from a metric:
+
+* point-to-point distance (for correctness checks and tests);
+* the set of points within distance R of an axis-aligned rectangle
+  (for overlap computation) — exposed here as :meth:`Metric.expand_rect`.
+
+For the Chebyshev metric that set is itself a rectangle, which is the
+case the paper's axis-aligned bounding-box computation handles exactly.
+For the Euclidean metric the true set has rounded corners; expanding the
+rectangle by R is the tight axis-aligned *over*-approximation, which
+preserves correctness (consistency sets may only grow, never miss a
+server).  Tests assert this conservativeness property.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.geometry.rect import Rect
+from repro.geometry.vec import Vec2
+
+
+class Metric(ABC):
+    """A distance metric over the game world."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def distance(self, a: Vec2, b: Vec2) -> float:
+        """Distance between two points."""
+
+    def expand_rect(self, rect: Rect, radius: float) -> Rect:
+        """Axis-aligned superset of ``{p : d(p, rect) <= radius}``.
+
+        The default (expand every side by *radius*) is exact for
+        Chebyshev and a tight over-approximation for Euclidean and
+        Manhattan.
+        """
+        return rect.expanded(radius)
+
+    def within(self, a: Vec2, b: Vec2, radius: float) -> bool:
+        """True when ``d(a, b) <= radius``."""
+        return self.distance(a, b) <= radius
+
+
+class EuclideanMetric(Metric):
+    """Ordinary L2 distance — the natural metric for open-field games."""
+
+    name = "euclidean"
+
+    def distance(self, a: Vec2, b: Vec2) -> float:
+        return math.hypot(a.x - b.x, a.y - b.y)
+
+
+class ChebyshevMetric(Metric):
+    """L-infinity distance; visibility 'circles' are squares.
+
+    This is the metric under which rectangle expansion is *exact*, and
+    matches tile-based games where visibility is a square viewport.
+    """
+
+    name = "chebyshev"
+
+    def distance(self, a: Vec2, b: Vec2) -> float:
+        return max(abs(a.x - b.x), abs(a.y - b.y))
+
+
+class ManhattanMetric(Metric):
+    """L1 distance; for grid-movement games."""
+
+    name = "manhattan"
+
+    def distance(self, a: Vec2, b: Vec2) -> float:
+        return abs(a.x - b.x) + abs(a.y - b.y)
+
+
+class ToroidalMetric(Metric):
+    """Euclidean distance on a world that wraps around both axes.
+
+    Arena shooters (BzFlag among them) commonly wrap the map edges.  The
+    rectangle expansion must then also wrap; we conservatively return the
+    whole world when the expansion would exceed it.
+    """
+
+    name = "toroidal"
+
+    def __init__(self, world: Rect) -> None:
+        self._world = world
+
+    @property
+    def world(self) -> Rect:
+        """The wrapping world bounds."""
+        return self._world
+
+    def _axis_delta(self, a: float, b: float, span: float) -> float:
+        delta = abs(a - b) % span
+        return min(delta, span - delta)
+
+    def distance(self, a: Vec2, b: Vec2) -> float:
+        dx = self._axis_delta(a.x, b.x, self._world.width)
+        dy = self._axis_delta(a.y, b.y, self._world.height)
+        return math.hypot(dx, dy)
+
+    def expand_rect(self, rect: Rect, radius: float) -> Rect:
+        expanded = rect.expanded(radius)
+        if (
+            expanded.width >= self._world.width
+            or expanded.height >= self._world.height
+        ):
+            return self._world
+        return expanded
+
+
+#: Registry of metric constructors by name (toroidal needs world bounds).
+METRICS: dict[str, type[Metric]] = {
+    EuclideanMetric.name: EuclideanMetric,
+    ChebyshevMetric.name: ChebyshevMetric,
+    ManhattanMetric.name: ManhattanMetric,
+}
+
+
+def metric_by_name(name: str, world: Rect | None = None) -> Metric:
+    """Instantiate a metric by *name* ('toroidal' requires *world*)."""
+    if name == ToroidalMetric.name:
+        if world is None:
+            raise ValueError("toroidal metric requires world bounds")
+        return ToroidalMetric(world)
+    try:
+        return METRICS[name]()
+    except KeyError:
+        raise ValueError(f"unknown metric {name!r}") from None

@@ -1,0 +1,312 @@
+"""Overlap-region decomposition (the geometric core of the paper).
+
+Given a spatial partition ``{P1..PN}`` of the world and a radius of
+visibility ``R``, every point σ in partition ``Pi`` has a *consistency
+set* (paper, Equation 1)::
+
+    C(σ ∈ Pi) = { Sj | j ≠ i  and  ∃σ' ∈ Pj : d(σ, σ') ≤ R }
+
+Points of ``Pi`` with identical non-empty consistency sets are grouped
+into **overlap regions**.  This module computes that decomposition with
+axis-aligned bounding-box arithmetic, exactly as §3.2.4 of the paper
+describes: the set of points of ``Pi`` within distance R of ``Pj`` is
+``Pi ∩ expand(Pj, R)``, so intersecting the expanded neighbours against
+``Pi`` and overlaying the resulting rectangles yields an arrangement
+whose cells each have a constant consistency set.
+
+Correctness note: for the Euclidean metric the rectangle expansion is a
+tight *over*-approximation (true R-neighbourhoods have rounded corners),
+so computed consistency sets may be supersets of the exact Equation-1
+sets near partition corners.  That errs on the side of forwarding a
+packet to a server that did not strictly need it — consistency is never
+violated.  For the Chebyshev metric the computation is exact.  Tests
+assert both properties.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.geometry.metrics import Metric
+from repro.geometry.rect import Rect
+from repro.geometry.vec import Vec2
+
+#: A consistency set: the ids of the *other* servers that must hear
+#: about an update (empty for interior points).
+ConsistencySet = frozenset
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapCell:
+    """One rectangular cell of the arrangement with a constant set."""
+
+    rect: Rect
+    servers: ConsistencySet
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapRegion:
+    """All points of a partition sharing one non-empty consistency set.
+
+    A region can be geometrically disconnected (e.g. two opposite strips
+    both bordering the same pair of neighbours), hence a list of rects.
+    """
+
+    servers: ConsistencySet
+    rects: tuple[Rect, ...]
+
+    @property
+    def area(self) -> float:
+        """Total area covered by this region."""
+        return sum(r.area for r in self.rects)
+
+
+def point_rect_distance(metric: Metric, point: Vec2, rect: Rect) -> float:
+    """Metric distance from *point* to the closed rectangle *rect*.
+
+    This is the reference ``d(σ, Pj)`` used by the brute-force
+    Equation-1 implementation below; the production path never computes
+    per-point distances (it uses the precomputed arrangement instead).
+    """
+    # Per-axis gaps are zero when the point's coordinate lies inside the
+    # rectangle's span, which lets one formula serve all Lp metrics.
+    gx = max(0.0, rect.xmin - point.x, point.x - rect.xmax)
+    gy = max(0.0, rect.ymin - point.y, point.y - rect.ymax)
+    name = getattr(metric, "name", "")
+    if name == "chebyshev":
+        return max(gx, gy)
+    if name == "manhattan":
+        return gx + gy
+    if name == "toroidal":
+        world = metric.world  # type: ignore[attr-defined]
+        best = float("inf")
+        for ox in (-world.width, 0.0, world.width):
+            for oy in (-world.height, 0.0, world.height):
+                shifted = Vec2(point.x + ox, point.y + oy)
+                sgx = max(0.0, rect.xmin - shifted.x, shifted.x - rect.xmax)
+                sgy = max(0.0, rect.ymin - shifted.y, shifted.y - rect.ymax)
+                best = min(best, (sgx * sgx + sgy * sgy) ** 0.5)
+        return best
+    return (gx * gx + gy * gy) ** 0.5
+
+
+def consistency_set_at(
+    point: Vec2,
+    owner: object,
+    partitions: Mapping[object, Rect],
+    radius: float,
+    metric: Metric,
+) -> ConsistencySet:
+    """Brute-force Equation 1: the exact consistency set of *point*.
+
+    *owner* is the id of the partition containing the point; it is
+    excluded per the ``j ≠ i`` clause.  Used by tests and by the
+    coordinator's non-proximal query path, never per packet.
+    """
+    members = {
+        pid
+        for pid, rect in partitions.items()
+        if pid != owner and point_rect_distance(metric, point, rect) <= radius
+    }
+    return frozenset(members)
+
+
+def _arrangement_cells(
+    partition: Rect,
+    overlaps: list[tuple[object, Rect]],
+) -> list[OverlapCell]:
+    """Overlay *overlaps* (already clipped to *partition*) into cells.
+
+    Classic coordinate-sweep: collect every distinct x and y boundary,
+    form the grid of elementary cells, and label each cell with the set
+    of overlap rectangles containing its centre.  Cells with empty sets
+    (partition interior) are dropped.
+    """
+    xs = {partition.xmin, partition.xmax}
+    ys = {partition.ymin, partition.ymax}
+    for _, rect in overlaps:
+        xs.update((rect.xmin, rect.xmax))
+        ys.update((rect.ymin, rect.ymax))
+    xs_sorted = sorted(xs)
+    ys_sorted = sorted(ys)
+
+    cells: list[OverlapCell] = []
+    for yi in range(len(ys_sorted) - 1):
+        for xi in range(len(xs_sorted) - 1):
+            cell = Rect(
+                xs_sorted[xi], ys_sorted[yi], xs_sorted[xi + 1], ys_sorted[yi + 1]
+            )
+            if cell.is_empty():
+                continue
+            centre = cell.center
+            members = frozenset(
+                pid for pid, rect in overlaps if rect.contains(centre)
+            )
+            if members:
+                cells.append(OverlapCell(rect=cell, servers=members))
+    return cells
+
+
+def _merge_cells(cells: Iterable[OverlapCell]) -> list[OverlapCell]:
+    """Coalesce adjacent same-set cells (horizontal runs, then vertical).
+
+    Purely a size optimisation for the routing tables; lookup results
+    are unchanged.
+    """
+    # Horizontal pass: merge cells sharing (ymin, ymax, set) and touching in x.
+    by_row: dict[tuple[float, float, ConsistencySet], list[Rect]] = {}
+    for cell in cells:
+        key = (cell.rect.ymin, cell.rect.ymax, cell.servers)
+        by_row.setdefault(key, []).append(cell.rect)
+
+    horizontal: list[OverlapCell] = []
+    for (ymin, ymax, servers), rects in by_row.items():
+        rects.sort(key=lambda r: r.xmin)
+        run = rects[0]
+        for rect in rects[1:]:
+            if rect.xmin == run.xmax:
+                run = Rect(run.xmin, ymin, rect.xmax, ymax)
+            else:
+                horizontal.append(OverlapCell(run, servers))
+                run = rect
+        horizontal.append(OverlapCell(run, servers))
+
+    # Vertical pass: merge cells sharing (xmin, xmax, set) and touching in y.
+    by_col: dict[tuple[float, float, ConsistencySet], list[Rect]] = {}
+    for cell in horizontal:
+        key = (cell.rect.xmin, cell.rect.xmax, cell.servers)
+        by_col.setdefault(key, []).append(cell.rect)
+
+    merged: list[OverlapCell] = []
+    for (xmin, xmax, servers), rects in by_col.items():
+        rects.sort(key=lambda r: r.ymin)
+        run = rects[0]
+        for rect in rects[1:]:
+            if rect.ymin == run.ymax:
+                run = Rect(xmin, run.ymin, xmax, rect.ymax)
+            else:
+                merged.append(OverlapCell(run, servers))
+                run = rect
+        merged.append(OverlapCell(run, servers))
+    return merged
+
+
+def decompose_partition(
+    owner: object,
+    partitions: Mapping[object, Rect],
+    radius: float,
+    metric: Metric,
+) -> list[OverlapCell]:
+    """Compute the merged overlap cells of partition *owner*.
+
+    Returns rectangles covering exactly the points of the partition
+    whose consistency set is non-empty, each labelled with that set.
+    """
+    partition = partitions[owner]
+    overlaps: list[tuple[object, Rect]] = []
+    for pid, rect in partitions.items():
+        if pid == owner:
+            continue
+        clipped = metric.expand_rect(rect, radius).intersection(partition)
+        if clipped is not None:
+            overlaps.append((pid, clipped))
+    return _merge_cells(_arrangement_cells(partition, overlaps))
+
+
+def group_regions(cells: Iterable[OverlapCell]) -> list[OverlapRegion]:
+    """Group cells by consistency set into the paper's overlap regions."""
+    by_set: dict[ConsistencySet, list[Rect]] = {}
+    for cell in cells:
+        by_set.setdefault(cell.servers, []).append(cell.rect)
+    regions = [
+        OverlapRegion(servers=servers, rects=tuple(rects))
+        for servers, rects in by_set.items()
+    ]
+    regions.sort(key=lambda region: sorted(map(str, region.servers)))
+    return regions
+
+
+class RegionIndex:
+    """Constant-time point → consistency-set lookup for one partition.
+
+    Implements the paper's "instant O(1) lookup ... using the overlap
+    regions provided by the MC": the arrangement's x/y boundaries form a
+    grid; lookup bisects into the (small, bounded) boundary arrays and
+    reads the precomputed set for that elementary cell.
+    """
+
+    def __init__(self, partition: Rect, cells: list[OverlapCell]) -> None:
+        self._partition = partition
+        self._cells = cells
+        xs = {partition.xmin, partition.xmax}
+        ys = {partition.ymin, partition.ymax}
+        for cell in cells:
+            xs.update((cell.rect.xmin, cell.rect.xmax))
+            ys.update((cell.rect.ymin, cell.rect.ymax))
+        self._xs = sorted(xs)
+        self._ys = sorted(ys)
+        empty: ConsistencySet = frozenset()
+        columns = len(self._xs) - 1
+        rows = len(self._ys) - 1
+        self._grid: list[list[ConsistencySet]] = [
+            [empty] * columns for _ in range(max(rows, 0))
+        ]
+        for cell in cells:
+            x0 = bisect.bisect_right(self._xs, cell.rect.xmin) - 1
+            x1 = bisect.bisect_left(self._xs, cell.rect.xmax)
+            y0 = bisect.bisect_right(self._ys, cell.rect.ymin) - 1
+            y1 = bisect.bisect_left(self._ys, cell.rect.ymax)
+            for yi in range(y0, y1):
+                for xi in range(x0, x1):
+                    self._grid[yi][xi] = cell.servers
+
+    @property
+    def partition(self) -> Rect:
+        """The partition this index covers."""
+        return self._partition
+
+    @property
+    def cells(self) -> list[OverlapCell]:
+        """The merged overlap cells backing this index."""
+        return list(self._cells)
+
+    @property
+    def regions(self) -> list[OverlapRegion]:
+        """The paper-style overlap regions (cells grouped by set)."""
+        return group_regions(self._cells)
+
+    def overlap_area(self) -> float:
+        """Total area of this partition covered by overlap regions."""
+        return sum(cell.rect.area for cell in self._cells)
+
+    def lookup(self, point: Vec2) -> ConsistencySet:
+        """Consistency set of *point* (empty set for interior points).
+
+        Points outside the partition raise ``ValueError`` — routing a
+        packet that is not in the local partition is a protocol error.
+        """
+        if not self._partition.contains(point):
+            raise ValueError(f"{point} outside partition {self._partition}")
+        xi = bisect.bisect_right(self._xs, point.x) - 1
+        yi = bisect.bisect_right(self._ys, point.y) - 1
+        return self._grid[yi][xi]
+
+
+def compute_overlap_map(
+    partitions: Mapping[object, Rect],
+    radius: float,
+    metric: Metric,
+) -> dict[object, RegionIndex]:
+    """Compute the :class:`RegionIndex` of every partition.
+
+    This is the Matrix Coordinator's bulk computation: it runs whenever
+    the partitioning changes (splits/reclamations) and never per packet.
+    """
+    return {
+        pid: RegionIndex(
+            partitions[pid], decompose_partition(pid, partitions, radius, metric)
+        )
+        for pid in partitions
+    }

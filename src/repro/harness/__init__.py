@@ -1,0 +1,59 @@
+"""Experiment harness: runners for every figure/table of the paper."""
+
+from repro.harness.compare import (
+    GameComparison,
+    SystemOutcome,
+    compare_all_games,
+    compare_game,
+    format_comparison_table,
+)
+from repro.harness.experiment import (
+    ExperimentResult,
+    MatrixExperiment,
+    matrix_config_for,
+)
+from repro.harness.fig2 import (
+    Fig2Schedule,
+    install_fig2_workload,
+    install_fleet_workload,
+    mini_fig2_policy,
+    run_fig2,
+)
+from repro.harness.micro import (
+    BandwidthPoint,
+    CoordinatorOverhead,
+    bandwidth_overlap_correlation,
+    coordinator_overhead,
+    measure_bandwidth_vs_overlap,
+    measure_switching_latency,
+)
+from repro.harness.userstudy import (
+    SCALED_PERCEPTION_THRESHOLD,
+    TransparencyReport,
+    measure_transparency,
+)
+
+__all__ = [
+    "BandwidthPoint",
+    "CoordinatorOverhead",
+    "ExperimentResult",
+    "Fig2Schedule",
+    "GameComparison",
+    "MatrixExperiment",
+    "SCALED_PERCEPTION_THRESHOLD",
+    "SystemOutcome",
+    "TransparencyReport",
+    "bandwidth_overlap_correlation",
+    "compare_all_games",
+    "compare_game",
+    "coordinator_overhead",
+    "format_comparison_table",
+    "install_fig2_workload",
+    "install_fleet_workload",
+    "matrix_config_for",
+    "measure_bandwidth_vs_overlap",
+    "measure_switching_latency",
+    "measure_transparency",
+    "mini_fig2_policy",
+    "run_fig2",
+]

@@ -1,0 +1,185 @@
+"""Matrix vs static partitioning across the three games (§4.1–§4.2).
+
+"For these three games, we showed that Matrix is able to outperform
+static partitioning schemes when unexpected loads or hotspots occur.
+In particular, Matrix is able to automatically use extra servers to
+handle the load while the static partitioning schemes just fail."
+
+The comparison runs the *same* Fig-2-style hotspot workload (same seed,
+same client waves) against both systems and reports, per game: peak
+receive queue, dropped packets, p99 response latency, and the number of
+servers each system ended up using.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.analysis.stats import percentile
+from repro.baselines.static import run_static_hotspot
+from repro.core.config import LoadPolicyConfig
+from repro.games.profile import GameProfile, profile_by_name
+from repro.harness.experiment import MatrixExperiment
+from repro.harness.fig2 import Fig2Schedule, install_fig2_workload
+
+
+@dataclass(frozen=True, slots=True)
+class SystemOutcome:
+    """One system's showing on the hotspot workload."""
+
+    system: str
+    peak_queue: float
+    dropped_packets: int
+    p99_latency: float
+    servers_used: int
+    failed: bool
+
+
+@dataclass(frozen=True, slots=True)
+class GameComparison:
+    """Matrix vs static for one game."""
+
+    game: str
+    matrix: SystemOutcome
+    static: SystemOutcome
+
+    @property
+    def matrix_wins(self) -> bool:
+        """The paper's claim: Matrix absorbs what static cannot."""
+        return not self.matrix.failed and self.static.failed
+
+
+def _p99(latencies: list[float]) -> float:
+    if not latencies:
+        return 0.0
+    return percentile(latencies, 99)
+
+
+def scaled_profile(profile: GameProfile, scale: float) -> GameProfile:
+    """Scale a profile's server capacity with a scaled population.
+
+    When a comparison runs at ``scale`` of the paper's population (and
+    correspondingly scaled policy thresholds), the per-server packet
+    capacity must shrink by the same factor or neither system ever
+    saturates and the comparison is vacuous.
+    """
+    return dataclasses.replace(
+        profile,
+        server_service_rate=max(profile.server_service_rate * scale, 10.0),
+    )
+
+
+def compare_game(
+    profile: GameProfile,
+    schedule: Fig2Schedule,
+    policy: LoadPolicyConfig | None = None,
+    seed: int = 0,
+    static_columns: int = 2,
+    static_rows: int = 1,
+    queue_capacity: int = 20000,
+    failure_queue_fraction: float = 0.5,
+    failure_latency_factor: float = 4.0,
+    scale: float = 1.0,
+) -> GameComparison:
+    """Run the hotspot on Matrix and on a static grid; compare.
+
+    A system *fails* when any of these hold:
+
+    * it drops packets (queue cap reached), or
+    * its worst queue exceeds ``failure_queue_fraction`` of the cap
+      (saturated for an extended period instead of absorbing the
+      spike), or
+    * p99 response latency exceeds ``failure_latency_factor`` snapshot
+      periods — gameplay is unplayable even if the queue survives.
+
+    Pass ``scale < 1`` (with a matching schedule/policy) for fast runs;
+    server capacity and the queue cap shrink proportionally.
+    """
+    if scale != 1.0:
+        profile = scaled_profile(profile, scale)
+        queue_capacity = max(int(queue_capacity * scale), 100)
+    latency_bound = failure_latency_factor / profile.snapshot_hz
+
+    def verdict(peak_queue: float, dropped: int, p99: float) -> bool:
+        return (
+            dropped > 0
+            or peak_queue >= failure_queue_fraction * queue_capacity
+            or p99 > latency_bound
+        )
+
+    experiment = MatrixExperiment(profile, policy=policy, seed=seed)
+    install_fig2_workload(experiment, schedule)
+    matrix_result = experiment.run(until=schedule.duration)
+    matrix_p99 = _p99(matrix_result.action_latencies)
+    matrix_outcome = SystemOutcome(
+        system="matrix",
+        peak_queue=matrix_result.max_queue(),
+        dropped_packets=0,
+        p99_latency=matrix_p99,
+        servers_used=matrix_result.peak_servers_in_use,
+        failed=verdict(matrix_result.max_queue(), 0, matrix_p99),
+    )
+
+    static_result = run_static_hotspot(
+        profile,
+        schedule,
+        seed=seed,
+        columns=static_columns,
+        rows=static_rows,
+        queue_capacity=queue_capacity,
+    )
+    static_p99 = _p99(static_result.action_latencies)
+    static_outcome = SystemOutcome(
+        system="static",
+        peak_queue=static_result.max_queue(),
+        dropped_packets=static_result.dropped_packets,
+        p99_latency=static_p99,
+        servers_used=static_columns * static_rows,
+        failed=verdict(
+            static_result.max_queue(),
+            static_result.dropped_packets,
+            static_p99,
+        ),
+    )
+    return GameComparison(
+        game=profile.name, matrix=matrix_outcome, static=static_outcome
+    )
+
+
+def compare_all_games(
+    schedule: Fig2Schedule,
+    policy: LoadPolicyConfig | None = None,
+    seed: int = 0,
+    games: tuple[str, ...] = ("bzflag", "quake2", "daimonin"),
+    scale: float = 1.0,
+) -> list[GameComparison]:
+    """The full T-static table: one row per game."""
+    return [
+        compare_game(
+            profile_by_name(game),
+            schedule,
+            policy=policy,
+            seed=seed,
+            scale=scale,
+        )
+        for game in games
+    ]
+
+
+def format_comparison_table(rows: list[GameComparison]) -> str:
+    """Render the T-static table the way the bench prints it."""
+    lines = [
+        f"{'game':<10} {'system':<8} {'peak queue':>12} {'dropped':>9} "
+        f"{'p99 lat (s)':>12} {'servers':>8} {'verdict':>9}"
+    ]
+    for row in rows:
+        for outcome in (row.matrix, row.static):
+            verdict = "FAILS" if outcome.failed else "ok"
+            lines.append(
+                f"{row.game:<10} {outcome.system:<8} "
+                f"{outcome.peak_queue:>12.0f} {outcome.dropped_packets:>9} "
+                f"{outcome.p99_latency:>12.3f} {outcome.servers_used:>8} "
+                f"{verdict:>9}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Common experiment runner: one Matrix deployment + one client fleet.
+
+Every figure/table reproduction builds on :class:`MatrixExperiment`:
+it wires a simulator, network, Matrix deployment and client fleet for a
+chosen game profile, samples per-server client counts and receive-queue
+lengths on a fixed period (the two Fig 2 panels), and packages the
+outcome into an :class:`ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.timeseries import Sampler, TimeSeries
+from repro.core.config import LoadPolicyConfig, MatrixConfig
+from repro.core.deployment import MatrixDeployment, ServerEvent
+from repro.games.base import GameServer
+from repro.games.profile import GameProfile
+from repro.net.network import Network
+from repro.net.stats import TrafficStats
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.workload.fleet import ClientFleet
+
+
+def matrix_config_for(
+    profile: GameProfile, policy: LoadPolicyConfig | None = None
+) -> MatrixConfig:
+    """Derive a MatrixConfig from a game profile."""
+    return MatrixConfig(
+        world=profile.world,
+        visibility_radius=profile.visibility_radius,
+        metric_name=profile.metric_name,
+        policy=policy or LoadPolicyConfig(),
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the benches/tests read out of one run."""
+
+    profile_name: str
+    duration: float
+    clients_per_server: dict[str, TimeSeries]
+    queue_per_server: dict[str, TimeSeries]
+    server_count: TimeSeries
+    total_clients: TimeSeries
+    server_events: list[ServerEvent]
+    traffic: TrafficStats
+    action_latencies: list[float]
+    switch_latencies: list[float]
+    splits_completed: int
+    reclaims_completed: int
+    failed_splits: int
+    pool_capacity: int
+    peak_servers_in_use: int
+    events_processed: int
+
+    def max_queue(self) -> float:
+        """Largest receive-queue sample across all servers."""
+        peaks = [s.max() for s in self.queue_per_server.values() if len(s)]
+        return max(peaks) if peaks else 0.0
+
+    def final_server_count(self) -> float:
+        """Live servers at the end of the run."""
+        return self.server_count.last()
+
+    def spawn_times(self) -> list[float]:
+        """Times at which servers were spawned (after bootstrap)."""
+        return [
+            event.time
+            for event in self.server_events
+            if event.kind == "spawn" and event.time > 0.0
+        ]
+
+    def reclaim_times(self) -> list[float]:
+        """Times at which servers were decommissioned."""
+        return [
+            event.time
+            for event in self.server_events
+            if event.kind == "decommission"
+        ]
+
+
+class MatrixExperiment:
+    """A ready-to-run Matrix deployment with workload hooks."""
+
+    def __init__(
+        self,
+        profile: GameProfile,
+        policy: LoadPolicyConfig | None = None,
+        matrix_config: MatrixConfig | None = None,
+        seed: int = 0,
+        pool_capacity: int = 16,
+        sample_period: float = 1.0,
+        grid: tuple[int, int] | None = None,
+    ) -> None:
+        self.profile = profile
+        self.rng = RngRegistry(seed=seed)
+        self.sim = Simulator()
+        self.network = Network(self.sim, rng=self.rng.stream("network"))
+        self.config = matrix_config or matrix_config_for(profile, policy)
+        self.deployment = MatrixDeployment(
+            self.sim,
+            self.network,
+            self.config,
+            game_server_factory=self._make_game_server,
+            pool_capacity=pool_capacity,
+        )
+        if grid is None:
+            self.deployment.bootstrap()
+        else:
+            self.deployment.bootstrap_grid(*grid)
+        self.fleet = ClientFleet(
+            self.sim,
+            self.network,
+            profile,
+            locator=self.deployment.locate_game_server,
+            rng=self.rng.stream("fleet"),
+        )
+        self._sampler = Sampler(self.sim, sample_period, self._probes)
+        self._peak_servers = 1
+
+    def _make_game_server(self, name: str, partition) -> GameServer:
+        return GameServer(
+            name,
+            self.profile,
+            partition,
+            report_interval=self.config.policy.report_interval,
+        )
+
+    def _probes(self) -> dict:
+        live = len(self.deployment.live_server_names())
+        self._peak_servers = max(self._peak_servers, live)
+        probes = {
+            "servers": lambda: live,
+            "clients": lambda: self.deployment.total_clients(),
+        }
+        for gs_name, handle in self.deployment.game_servers.items():
+            probes[f"clients/{gs_name}"] = (
+                lambda h=handle: h.client_count
+            )
+            probes[f"queue/{gs_name}"] = (
+                lambda h=handle: h.inbox.length
+            )
+        return probes
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> ExperimentResult:
+        """Run the scenario and collect the result."""
+        self.sim.run(until=until)
+        clients_per_server: dict[str, TimeSeries] = {}
+        queue_per_server: dict[str, TimeSeries] = {}
+        for key, series in self._sampler.series.items():
+            if key.startswith("clients/"):
+                clients_per_server[key.removeprefix("clients/")] = series
+            elif key.startswith("queue/"):
+                queue_per_server[key.removeprefix("queue/")] = series
+        splits = sum(
+            server.splits_completed
+            for server in self.deployment.matrix_servers.values()
+        )
+        reclaims = sum(
+            server.reclaims_completed
+            for server in self.deployment.matrix_servers.values()
+        )
+        failed = sum(
+            server.failed_splits
+            for server in self.deployment.matrix_servers.values()
+        )
+        # Reclaimed servers were removed from the dict; their reclaim
+        # counters lived on parents (which persist), but completed
+        # splits by decommissioned servers are gone — count events too.
+        spawned = sum(
+            1 for event in self.deployment.events if event.kind == "spawn"
+        )
+        decommissioned = sum(
+            1
+            for event in self.deployment.events
+            if event.kind == "decommission"
+        )
+        return ExperimentResult(
+            profile_name=self.profile.name,
+            duration=until,
+            clients_per_server=clients_per_server,
+            queue_per_server=queue_per_server,
+            server_count=self._sampler.series.get("servers", TimeSeries()),
+            total_clients=self._sampler.series.get("clients", TimeSeries()),
+            server_events=list(self.deployment.events),
+            traffic=self.network.stats,
+            action_latencies=self.fleet.all_action_latencies(),
+            switch_latencies=self.fleet.all_switch_latencies(),
+            splits_completed=max(splits, spawned - 1),
+            reclaims_completed=max(reclaims, decommissioned),
+            failed_splits=failed,
+            pool_capacity=self.deployment.pool.capacity,
+            peak_servers_in_use=self._peak_servers,
+            events_processed=self.sim.events_processed,
+        )

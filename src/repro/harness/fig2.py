@@ -1,0 +1,153 @@
+"""Figure 2 reproduction: the 600-client hotspot on BzFlag (§4.1).
+
+The paper's timeline, reproduced 1:1:
+
+* a base population plays normally;
+* at t≈10 s a hotspot of 600 clients appears (far beyond one server's
+  300-client capacity) and persists for ~75 s;
+* from t≈85 s, 200 clients leave at fixed intervals until the hotspot
+  is gone;
+* at t≈170 s the hotspot reappears at a *different* map position for
+  ~50 s, then drains the same way.
+
+Figure 2a is ``result.clients_per_server``; Figure 2b is
+``result.queue_per_server``.  Matrix's expected reaction (splits up to
+~4 servers, then reclamations) is asserted by the integration tests
+and printed by ``benchmarks/bench_fig2a_clients_per_server.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LoadPolicyConfig
+from repro.games.profile import GameProfile, bzflag_profile
+from repro.geometry import Vec2
+from repro.harness.experiment import ExperimentResult, MatrixExperiment
+
+
+@dataclass(slots=True)
+class Fig2Schedule:
+    """Timeline knobs; defaults mirror the paper's run."""
+
+    background_clients: int = 60
+    hotspot_clients: int = 600
+    hotspot1_at: float = 10.0
+    # Centred on the x=0.625 line of the world: after split-to-left
+    # halvings the hotspot straddles the [0.5, 0.625, 0.75] cuts, which
+    # reproduces the paper's narrative (server 3 inherits the bulk,
+    # splits once more, load settles under the threshold).
+    hotspot1_center_u: float = 0.625  # fraction of world width
+    hotspot1_center_v: float = 0.50
+    departures_start: float = 85.0
+    departure_batch: int = 200
+    departure_interval: float = 25.0
+    hotspot2_at: float = 170.0
+    # A different part of the world (paper: "located at a different
+    # part of the map"), again on a split line so the cascade settles.
+    hotspot2_center_u: float = 0.125
+    hotspot2_center_v: float = 0.50
+    departures2_start: float = 220.0
+    duration: float = 280.0
+    spread_fraction: float = 0.9  # hotspot sigma as fraction of R
+
+    def scaled(self, factor: float) -> "Fig2Schedule":
+        """A population-scaled copy (for fast CI-sized runs)."""
+        return Fig2Schedule(
+            background_clients=max(1, int(self.background_clients * factor)),
+            hotspot_clients=max(1, int(self.hotspot_clients * factor)),
+            hotspot1_at=self.hotspot1_at,
+            hotspot1_center_u=self.hotspot1_center_u,
+            hotspot1_center_v=self.hotspot1_center_v,
+            departures_start=self.departures_start,
+            departure_batch=max(1, int(self.departure_batch * factor)),
+            departure_interval=self.departure_interval,
+            hotspot2_at=self.hotspot2_at,
+            hotspot2_center_u=self.hotspot2_center_u,
+            hotspot2_center_v=self.hotspot2_center_v,
+            departures2_start=self.departures2_start,
+            duration=self.duration,
+            spread_fraction=self.spread_fraction,
+        )
+
+
+def install_fig2_workload(
+    experiment: MatrixExperiment, schedule: Fig2Schedule
+) -> None:
+    """Register the Fig 2 arrival/departure waves on *experiment*."""
+    install_fleet_workload(experiment.fleet, experiment.profile, schedule)
+
+
+def install_fleet_workload(fleet, profile, schedule: Fig2Schedule) -> None:
+    """Register the Fig 2 waves on a bare fleet (works for any backend:
+    the same workload drives Matrix and the static baseline)."""
+    world = profile.world
+    spread = profile.visibility_radius * schedule.spread_fraction
+
+    fleet.spawn_background(schedule.background_clients, at=0.0)
+
+    center1 = Vec2(
+        world.xmin + world.width * schedule.hotspot1_center_u,
+        world.ymin + world.height * schedule.hotspot1_center_v,
+    )
+    fleet.spawn_hotspot(
+        schedule.hotspot_clients,
+        center1,
+        spread,
+        at=schedule.hotspot1_at,
+        group="hotspot-1",
+    )
+    fleet.depart_group(
+        "hotspot-1",
+        batch_size=schedule.departure_batch,
+        start=schedule.departures_start,
+        interval=schedule.departure_interval,
+    )
+
+    center2 = Vec2(
+        world.xmin + world.width * schedule.hotspot2_center_u,
+        world.ymin + world.height * schedule.hotspot2_center_v,
+    )
+    fleet.spawn_hotspot(
+        schedule.hotspot_clients,
+        center2,
+        spread,
+        at=schedule.hotspot2_at,
+        group="hotspot-2",
+    )
+    fleet.depart_group(
+        "hotspot-2",
+        batch_size=schedule.departure_batch,
+        start=schedule.departures2_start,
+        interval=schedule.departure_interval,
+    )
+
+
+def run_fig2(
+    profile: GameProfile | None = None,
+    schedule: Fig2Schedule | None = None,
+    policy: LoadPolicyConfig | None = None,
+    seed: int = 0,
+    pool_capacity: int = 16,
+) -> ExperimentResult:
+    """Run the full Figure 2 experiment and return its result."""
+    profile = profile or bzflag_profile()
+    schedule = schedule or Fig2Schedule()
+    experiment = MatrixExperiment(
+        profile, policy=policy, seed=seed, pool_capacity=pool_capacity
+    )
+    install_fig2_workload(experiment, schedule)
+    return experiment.run(until=schedule.duration)
+
+
+def mini_fig2_policy(scale: float = 0.1) -> LoadPolicyConfig:
+    """Thresholds scaled for fast test-sized populations.
+
+    Scaling the population by *scale* and the thresholds by the same
+    factor preserves the split/reclaim dynamics while cutting the event
+    count by ~1/scale.
+    """
+    return LoadPolicyConfig(
+        overload_clients=max(4, int(300 * scale)),
+        underload_clients=max(2, int(150 * scale)),
+    )

@@ -1,0 +1,42 @@
+"""Simulated network substrate: links, latency, queues, traffic stats."""
+
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    NormalLatency,
+    UniformLatency,
+    lan,
+    loopback,
+    wan,
+)
+from repro.net.message import Message
+from repro.net.network import (
+    LinkProfile,
+    Network,
+    lan_profile,
+    loopback_profile,
+    wan_profile,
+)
+from repro.net.node import Node
+from repro.net.queue import ReceiveQueue
+from repro.net.stats import Counter, TrafficStats
+
+__all__ = [
+    "ConstantLatency",
+    "Counter",
+    "LatencyModel",
+    "LinkProfile",
+    "Message",
+    "Network",
+    "Node",
+    "NormalLatency",
+    "ReceiveQueue",
+    "TrafficStats",
+    "UniformLatency",
+    "lan",
+    "lan_profile",
+    "loopback",
+    "loopback_profile",
+    "wan",
+    "wan_profile",
+]

@@ -1,0 +1,32 @@
+"""Messages exchanged between simulated hosts."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_message_ids = itertools.count(1)
+
+
+@dataclass(slots=True)
+class Message:
+    """A network message between two nodes.
+
+    ``kind`` is a routing/accounting label (e.g. ``"game.update"``,
+    ``"matrix.forward"``, ``"mc.overlap_table"``); traffic statistics
+    are broken down by it, which is how the coordinator-overhead and
+    bandwidth microbenchmarks classify traffic.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any
+    size_bytes: int
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"negative message size: {self.size_bytes}")

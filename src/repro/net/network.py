@@ -1,0 +1,162 @@
+"""The simulated network connecting all hosts.
+
+Transmission model: a message from A to B experiences
+
+* serialisation delay ``size / bandwidth`` on the sending link, and
+* one-way propagation latency drawn from the pair's latency model,
+
+after which it is delivered into B's finite-rate receive queue (see
+:mod:`repro.net.queue`).  Link profiles are resolved per source/dest
+pair, with name-prefix rules so whole host classes (e.g. ``client.*``)
+can share a WAN profile without enumerating pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.latency import ConstantLatency, LatencyModel, lan, loopback, wan
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.net.stats import TrafficStats
+from repro.sim.kernel import Simulator
+
+
+@dataclass(slots=True)
+class LinkProfile:
+    """Latency + bandwidth for one class of paths."""
+
+    latency: LatencyModel
+    bandwidth: float  # bytes per second
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive: {self.bandwidth}")
+
+
+def lan_profile(bandwidth: float = 125e6) -> LinkProfile:
+    """Gbit-class LAN (125 MB/s)."""
+    return LinkProfile(latency=lan(), bandwidth=bandwidth)
+
+
+def wan_profile(bandwidth: float = 1.25e6) -> LinkProfile:
+    """Consumer broadband of the paper's era (~10 Mbit/s)."""
+    return LinkProfile(latency=wan(), bandwidth=bandwidth)
+
+
+def loopback_profile() -> LinkProfile:
+    """Same-host IPC: effectively infinite bandwidth, ~50 µs latency."""
+    return LinkProfile(latency=loopback(), bandwidth=12.5e9)
+
+
+class Network:
+    """Registry of nodes plus the transmission fabric between them."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random | None = None,
+        default_profile: LinkProfile | None = None,
+    ) -> None:
+        self.sim = sim
+        self._rng = rng if rng is not None else random.Random(0)
+        self._nodes: dict[str, Node] = {}
+        self._default = default_profile or LinkProfile(
+            latency=ConstantLatency(1e-3), bandwidth=125e6
+        )
+        self._pair_profiles: dict[tuple[str, str], LinkProfile] = {}
+        self._prefix_profiles: list[tuple[str, str, LinkProfile]] = []
+        self._colocated: dict[str, str] = {}
+        self.stats = TrafficStats()
+        self.delivered_count = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Register *node*; names must be unique."""
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name: {node.name}")
+        self._nodes[node.name] = node
+        node.attach(self)
+        return node
+
+    def remove_node(self, name: str) -> None:
+        """Deregister a node (messages in flight to it are dropped)."""
+        self._nodes.pop(name, None)
+
+    def has_node(self, name: str) -> bool:
+        """True when *name* is currently registered."""
+        return name in self._nodes
+
+    def node(self, name: str) -> Node:
+        """Look up a registered node by name."""
+        return self._nodes[name]
+
+    def node_names(self) -> list[str]:
+        """Names of all registered nodes."""
+        return list(self._nodes)
+
+    def set_pair_profile(self, src: str, dst: str, profile: LinkProfile) -> None:
+        """Set the profile for the ordered pair ``src → dst``."""
+        self._pair_profiles[(src, dst)] = profile
+
+    def set_prefix_profile(
+        self, src_prefix: str, dst_prefix: str, profile: LinkProfile
+    ) -> None:
+        """Profile for any pair whose names start with the given prefixes.
+
+        Rules are checked in registration order; first match wins.
+        """
+        self._prefix_profiles.append((src_prefix, dst_prefix, profile))
+
+    def set_colocated(self, a: str, b: str) -> None:
+        """Mark two nodes as sharing a host (loopback path both ways).
+
+        The paper co-locates each game server with its Matrix server "to
+        minimize the network latency"; this is how that is expressed.
+        """
+        self._colocated[a] = b
+        self._colocated[b] = a
+
+    def profile_for(self, src: str, dst: str) -> LinkProfile:
+        """Resolve the link profile for ``src → dst``."""
+        if self._colocated.get(src) == dst:
+            return loopback_profile()
+        pair = self._pair_profiles.get((src, dst))
+        if pair is not None:
+            return pair
+        for src_prefix, dst_prefix, profile in self._prefix_profiles:
+            if src.startswith(src_prefix) and dst.startswith(dst_prefix):
+                return profile
+        return self._default
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(self, message: Message) -> None:
+        """Send *message*; it is dropped if the destination is unknown.
+
+        Unknown destinations happen legitimately during reclamation
+        races (a peer may route to a server an instant after it was
+        returned to the pool); the Matrix protocol tolerates the loss
+        because the reclaiming parent re-announces the merged range.
+        """
+        message.sent_at = self.sim.now
+        self.stats.record(message)
+        if message.dst not in self._nodes:
+            return
+        profile = self.profile_for(message.src, message.dst)
+        delay = (
+            profile.latency.sample(self._rng)
+            + message.size_bytes / profile.bandwidth
+        )
+        self.sim.after(delay, lambda m=message: self._deliver(m))
+
+    def _deliver(self, message: Message) -> None:
+        node = self._nodes.get(message.dst)
+        if node is None:
+            return  # destination decommissioned while in flight
+        self.delivered_count += 1
+        node.inbox.deliver(message)

@@ -1,0 +1,90 @@
+"""Base class for simulated hosts (game servers, Matrix servers, MC, clients)."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, TYPE_CHECKING
+
+from repro.net.message import Message
+from repro.net.queue import ReceiveQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+
+class Node(ABC):
+    """A network endpoint with a finite-rate receive queue.
+
+    Subclasses implement :meth:`handle_message`; everything else —
+    queueing, servicing delay, traffic accounting — is provided.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        service_rate: float = float("inf"),
+        queue_capacity: int | None = None,
+        priority_kinds: frozenset[str] | None = None,
+    ) -> None:
+        self.name = name
+        self._network: "Network | None" = None
+        self._service_rate = service_rate
+        self._queue_capacity = queue_capacity
+        self._priority_kinds = priority_kinds
+        self._inbox: ReceiveQueue | None = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, network: "Network") -> None:
+        """Called by :meth:`Network.add_node`; builds the receive queue."""
+        self._network = network
+        predicate = None
+        if self._priority_kinds:
+            kinds = self._priority_kinds
+            predicate = lambda message: message.kind in kinds  # noqa: E731
+        self._inbox = ReceiveQueue(
+            network.sim,
+            self.handle_message,
+            service_rate=self._service_rate,
+            capacity=self._queue_capacity,
+            priority_predicate=predicate,
+        )
+
+    @property
+    def network(self) -> "Network":
+        """The network this node is attached to."""
+        if self._network is None:
+            raise RuntimeError(f"node {self.name} not attached to a network")
+        return self._network
+
+    @property
+    def sim(self):
+        """The simulation kernel (via the network)."""
+        return self.network.sim
+
+    @property
+    def inbox(self) -> ReceiveQueue:
+        """This node's receive queue (Fig 2b samples its ``length``)."""
+        if self._inbox is None:
+            raise RuntimeError(f"node {self.name} not attached to a network")
+        return self._inbox
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, dst: str, kind: str, payload: Any, size_bytes: int) -> Message:
+        """Send a message to node *dst* over the network."""
+        message = Message(
+            src=self.name,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+        )
+        self.network.transmit(message)
+        return message
+
+    @abstractmethod
+    def handle_message(self, message: Message) -> None:
+        """Process one serviced message."""

@@ -1,0 +1,87 @@
+"""Traffic accounting for the simulated network.
+
+The microbenchmarks in §4.2 are statements about traffic composition:
+the coordinator's share of messages is negligible, and inter-Matrix-
+server bytes track the size of the overlap regions.  This module keeps
+the counters those benchmarks read.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.net.message import Message
+
+
+@dataclass(slots=True)
+class Counter:
+    """Message count + byte count for one traffic class."""
+
+    messages: int = 0
+    bytes: int = 0
+
+    def add(self, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+
+
+@dataclass
+class TrafficStats:
+    """Aggregated traffic counters with per-kind and per-pair breakdowns."""
+
+    total: Counter = field(default_factory=Counter)
+    by_kind: dict[str, Counter] = field(
+        default_factory=lambda: defaultdict(Counter)
+    )
+    by_pair: dict[tuple[str, str], Counter] = field(
+        default_factory=lambda: defaultdict(Counter)
+    )
+    by_node_sent: dict[str, Counter] = field(
+        default_factory=lambda: defaultdict(Counter)
+    )
+    by_node_received: dict[str, Counter] = field(
+        default_factory=lambda: defaultdict(Counter)
+    )
+
+    def record(self, message: Message) -> None:
+        """Account one sent message."""
+        self.total.add(message.size_bytes)
+        self.by_kind[message.kind].add(message.size_bytes)
+        self.by_pair[(message.src, message.dst)].add(message.size_bytes)
+        self.by_node_sent[message.src].add(message.size_bytes)
+        self.by_node_received[message.dst].add(message.size_bytes)
+
+    # ------------------------------------------------------------------
+    # Queries used by the microbenchmarks
+    # ------------------------------------------------------------------
+    def kind_fraction(self, prefix: str) -> float:
+        """Fraction of all messages whose kind starts with *prefix*."""
+        if self.total.messages == 0:
+            return 0.0
+        matching = sum(
+            counter.messages
+            for kind, counter in self.by_kind.items()
+            if kind.startswith(prefix)
+        )
+        return matching / self.total.messages
+
+    def kind_bytes(self, prefix: str) -> int:
+        """Total bytes of messages whose kind starts with *prefix*."""
+        return sum(
+            counter.bytes
+            for kind, counter in self.by_kind.items()
+            if kind.startswith(prefix)
+        )
+
+    def pair_bytes(self, src: str, dst: str) -> int:
+        """Bytes sent from *src* to *dst*."""
+        return self.by_pair[(src, dst)].bytes
+
+    def node_sent_bytes(self, node: str) -> int:
+        """Bytes sent by *node* across all destinations."""
+        return self.by_node_sent[node].bytes
+
+    def node_received_bytes(self, node: str) -> int:
+        """Bytes addressed to *node* across all sources."""
+        return self.by_node_received[node].bytes

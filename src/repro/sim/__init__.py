@@ -1,0 +1,21 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate every other layer runs on: a float-time
+event heap (:class:`Simulator`), periodic tasks and timers, and named
+seeded RNG streams (:class:`RngRegistry`).
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.process import PeriodicTask, Timer
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "PeriodicTask",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+]

@@ -1,0 +1,102 @@
+"""Event queue for the discrete-event simulation kernel.
+
+The queue is a binary heap of :class:`Event` records ordered by
+``(time, priority, sequence)``.  The sequence number makes ordering total
+and deterministic: two events scheduled for the same instant always fire
+in the order they were scheduled, regardless of callback identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Default priority for events.  Lower values fire first at equal times.
+DEFAULT_PRIORITY = 0
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A single scheduled callback.
+
+    Events compare by ``(time, priority, seq)`` so the heap pops them in
+    deterministic chronological order.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+    ) -> Event:
+        """Schedule *callback* at *time* and return the (cancellable) event."""
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Pop and return the earliest non-cancelled event.
+
+        Raises :class:`IndexError` when the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> float | None:
+        """Return the time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancel(self) -> None:
+        """Account for an externally cancelled event (keeps ``len`` honest)."""
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

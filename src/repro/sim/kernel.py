@@ -1,0 +1,164 @@
+"""The discrete-event simulator at the bottom of every experiment.
+
+Design notes
+------------
+All higher layers (network, Matrix middleware, game servers, workload
+generators) are written against this kernel.  The kernel is deliberately
+tiny and deterministic:
+
+* time is a ``float`` number of seconds since simulation start;
+* events at equal times fire in scheduling order (see
+  :mod:`repro.sim.events`);
+* there is no wall-clock coupling whatsoever, so runs are exactly
+  reproducible given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue
+from repro.sim.process import PeriodicTask
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.after(1.5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.5]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._event_count
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+    ) -> Event:
+        """Schedule *callback* at absolute simulation *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        return self._queue.push(time, callback, priority=priority, label=label)
+
+    def after(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+    ) -> Event:
+        """Schedule *callback* after a relative *delay* (seconds)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.at(self._now + delay, callback, priority=priority, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancel()
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        start: float | None = None,
+        label: str = "",
+    ) -> "PeriodicTask":
+        """Run *callback* every *interval* seconds until cancelled.
+
+        The first firing is at *start* (default: ``now + interval``).
+        Returns a :class:`PeriodicTask` handle with a ``stop()`` method.
+        """
+        if interval <= 0:
+            raise SimulationError(f"non-positive interval: {interval}")
+        first = self._now + interval if start is None else start
+        return PeriodicTask(self, interval, callback, first, label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single earliest event.  Returns ``False`` if none."""
+        try:
+            event = self._queue.pop()
+        except IndexError:
+            return False
+        self._now = event.time
+        self._event_count += 1
+        event.callback()
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the queue drains, *until* is reached, or *max_events*.
+
+        When *until* is given, the clock is advanced to exactly *until*
+        even if the last event fires earlier, so metrics sampled "at end
+        of run" line up across experiments.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the executing event returns."""
+        self._stopped = True

@@ -1,0 +1,16 @@
+"""Workload generation: mobility models and client fleets."""
+
+from repro.workload.fleet import ClientFleet, Locator
+from repro.workload.mobility import (
+    HotspotMobility,
+    RandomWaypoint,
+    Stationary,
+)
+
+__all__ = [
+    "ClientFleet",
+    "HotspotMobility",
+    "Locator",
+    "RandomWaypoint",
+    "Stationary",
+]

@@ -1,0 +1,190 @@
+"""Client fleet management: spawning, hotspot waves, departures.
+
+The fleet is the workload generator of every experiment: it creates
+:class:`~repro.games.base.GameClient` nodes, joins them to whichever
+game server owns their position (via a pluggable locator, so the same
+fleet drives Matrix *and* the static baseline), and schedules the
+arrival/departure waves that make up a scenario.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.games.base import GameClient
+from repro.games.profile import GameProfile
+from repro.geometry import Vec2
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.workload.mobility import HotspotMobility, RandomWaypoint
+
+#: Maps a world position to the name of the game server that owns it.
+Locator = Callable[[Vec2], str]
+
+
+class ClientFleet:
+    """Creates and drives the client population of one experiment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        profile: GameProfile,
+        locator: Locator,
+        rng: random.Random,
+        name_prefix: str = "client",
+    ) -> None:
+        self._sim = sim
+        self._network = network
+        self._profile = profile
+        self._locator = locator
+        self._rng = rng
+        self._prefix = name_prefix
+        self._counter = 0
+        self.clients: list[GameClient] = []
+        #: Named groups (e.g. "hotspot-1") for targeted departures.
+        self.groups: dict[str, list[GameClient]] = {}
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    def _new_client(self, mobility, position: Vec2) -> GameClient:
+        self._counter += 1
+        client = GameClient(
+            name=f"{self._prefix}.{self._counter}",
+            profile=self._profile,
+            mobility=mobility,
+            rng=random.Random(self._rng.getrandbits(64)),
+            relocate=self._locator,
+        )
+        self._network.add_node(client)
+        self.clients.append(client)
+        client.join(self._locator(position), position)
+        return client
+
+    def _random_position(self) -> Vec2:
+        world = self._profile.world
+        return Vec2(
+            self._rng.uniform(world.xmin, world.xmax - 1e-6),
+            self._rng.uniform(world.ymin, world.ymax - 1e-6),
+        )
+
+    def _hotspot_position(self, center: Vec2, spread: float) -> Vec2:
+        world = self._profile.world
+        eps = 1e-6
+        return Vec2(
+            self._rng.gauss(center.x, spread),
+            self._rng.gauss(center.y, spread),
+        ).clamped(world.xmin, world.ymin, world.xmax - eps, world.ymax - eps)
+
+    def spawn_background(
+        self, count: int, at: float = 0.0, group: str = "background"
+    ) -> None:
+        """Schedule *count* random-waypoint players to join at *at*."""
+
+        def spawn() -> None:
+            members = self.groups.setdefault(group, [])
+            for _ in range(count):
+                mobility = RandomWaypoint(
+                    self._profile.world,
+                    self._profile.move_speed,
+                    random.Random(self._rng.getrandbits(64)),
+                )
+                members.append(
+                    self._new_client(mobility, self._random_position())
+                )
+
+        self._sim.at(at, spawn)
+
+    def spawn_hotspot(
+        self,
+        count: int,
+        center: Vec2,
+        spread: float,
+        at: float,
+        group: str,
+        over: float = 2.0,
+    ) -> None:
+        """Schedule a hotspot wave: *count* players piling onto *center*.
+
+        Arrivals are spread over *over* seconds (a burst, not a single
+        instant, matching the paper's "600 clients joining").
+        """
+
+        def spawn_one() -> None:
+            members = self.groups.setdefault(group, [])
+            mobility = HotspotMobility(
+                self._profile.world,
+                center,
+                spread,
+                self._profile.move_speed,
+                random.Random(self._rng.getrandbits(64)),
+            )
+            members.append(
+                self._new_client(
+                    mobility, self._hotspot_position(center, spread)
+                )
+            )
+
+        for i in range(count):
+            offset = (i / max(count - 1, 1)) * over
+            self._sim.at(at + offset, spawn_one)
+
+    # ------------------------------------------------------------------
+    # Departures
+    # ------------------------------------------------------------------
+    def depart_group(
+        self,
+        group: str,
+        batch_size: int,
+        start: float,
+        interval: float,
+    ) -> None:
+        """Drain *group* in batches of *batch_size* every *interval* s.
+
+        Matches Fig 2's "200 clients disappearing at fixed intervals".
+        """
+
+        def leave_batch() -> None:
+            members = self.groups.get(group, [])
+            active = [client for client in members if client.active]
+            for client in active[:batch_size]:
+                client.leave()
+
+        # Schedule enough batches to drain any plausible group size;
+        # batches that find the group already empty are no-ops.
+        for index in range(64):
+            self._sim.at(start + index * interval, leave_batch)
+
+    def move_group_hotspot(self, group: str, center: Vec2, at: float) -> None:
+        """Retarget a hotspot group's mobility to a new centre."""
+
+        def retarget() -> None:
+            for client in self.groups.get(group, []):
+                mobility = client._mobility
+                if isinstance(mobility, HotspotMobility):
+                    mobility.retarget(center)
+
+        self._sim.at(at, retarget)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def active_clients(self) -> list[GameClient]:
+        """Clients currently in the game."""
+        return [client for client in self.clients if client.active]
+
+    def all_action_latencies(self) -> list[float]:
+        """Response latencies pooled across every client."""
+        latencies: list[float] = []
+        for client in self.clients:
+            latencies.extend(client.action_latencies)
+        return latencies
+
+    def all_switch_latencies(self) -> list[float]:
+        """Server-switch latencies pooled across every client."""
+        latencies: list[float] = []
+        for client in self.clients:
+            latencies.extend(client.switch_latencies)
+        return latencies

@@ -1,0 +1,137 @@
+"""Client mobility models.
+
+Each client owns one mobility instance (they are stateful).  The
+hotspot experiments combine :class:`RandomWaypoint` background players
+with :class:`HotspotMobility` players who loiter around the hotspot —
+the "town hall during a town meeting" of §4.1.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.geometry import Rect, Vec2
+
+
+def _clamp_into(world: Rect, p: Vec2) -> Vec2:
+    """Keep positions strictly inside the half-open world bounds."""
+    eps = 1e-6
+    return p.clamped(
+        world.xmin, world.ymin, world.xmax - eps, world.ymax - eps
+    )
+
+
+class Stationary:
+    """No movement; useful in unit tests and microbenchmarks."""
+
+    def step(self, position: Vec2, dt: float) -> Vec2:
+        return position
+
+
+class RandomWaypoint:
+    """The classic random-waypoint model.
+
+    Pick a uniform random destination, walk to it at constant speed,
+    optionally pause, repeat.
+    """
+
+    def __init__(
+        self,
+        world: Rect,
+        speed: float,
+        rng: random.Random,
+        pause: float = 0.0,
+    ) -> None:
+        if speed < 0:
+            raise ValueError(f"negative speed: {speed}")
+        self._world = world
+        self._speed = speed
+        self._rng = rng
+        self._pause = pause
+        self._target: Vec2 | None = None
+        self._pause_left = 0.0
+
+    def _pick_target(self) -> Vec2:
+        return Vec2(
+            self._rng.uniform(self._world.xmin, self._world.xmax),
+            self._rng.uniform(self._world.ymin, self._world.ymax),
+        )
+
+    def step(self, position: Vec2, dt: float) -> Vec2:
+        if self._pause_left > 0.0:
+            self._pause_left = max(0.0, self._pause_left - dt)
+            return position
+        if self._target is None:
+            self._target = self._pick_target()
+        to_target = self._target - position
+        distance = to_target.length()
+        travel = self._speed * dt
+        if travel >= distance:
+            arrived = self._target
+            self._target = None
+            self._pause_left = self._pause
+            return _clamp_into(self._world, arrived)
+        return _clamp_into(
+            self._world, position + to_target.normalized() * travel
+        )
+
+
+class HotspotMobility:
+    """Loiter around a hotspot centre.
+
+    The client walks toward a jittered point near the centre; once
+    within the spread it mills about by re-sampling loiter points.
+    This keeps the hotspot population concentrated (unlike random
+    waypoint, which would diffuse it) while still generating movement
+    traffic.
+    """
+
+    def __init__(
+        self,
+        world: Rect,
+        center: Vec2,
+        spread: float,
+        speed: float,
+        rng: random.Random,
+    ) -> None:
+        if spread <= 0:
+            raise ValueError(f"spread must be positive: {spread}")
+        self._world = world
+        self._center = center
+        self._spread = spread
+        self._speed = speed
+        self._rng = rng
+        self._target: Vec2 | None = None
+
+    @property
+    def center(self) -> Vec2:
+        """The hotspot centre this client gravitates to."""
+        return self._center
+
+    def retarget(self, center: Vec2) -> None:
+        """Move the hotspot (second-hotspot phase of Fig 2)."""
+        self._center = center
+        self._target = None
+
+    def _pick_loiter_point(self) -> Vec2:
+        return _clamp_into(
+            self._world,
+            Vec2(
+                self._rng.gauss(self._center.x, self._spread),
+                self._rng.gauss(self._center.y, self._spread),
+            ),
+        )
+
+    def step(self, position: Vec2, dt: float) -> Vec2:
+        if self._target is None:
+            self._target = self._pick_loiter_point()
+        to_target = self._target - position
+        distance = to_target.length()
+        travel = self._speed * dt
+        if travel >= distance:
+            arrived = self._target
+            self._target = None
+            return arrived
+        return _clamp_into(
+            self._world, position + to_target.normalized() * travel
+        )

@@ -1,0 +1,36 @@
+"""Validation tests for Matrix configuration."""
+
+import pytest
+
+from repro.core.config import MatrixConfig
+from repro.geometry import Rect
+
+
+def test_default_config_valid():
+    config = MatrixConfig()
+    assert config.policy.overload_clients == 300
+    assert config.policy.underload_clients == 150
+
+
+def test_negative_radius_rejected():
+    with pytest.raises(ValueError):
+        MatrixConfig(visibility_radius=-1.0)
+
+
+def test_radius_dominating_world_rejected():
+    """R so large that localized consistency degenerates is refused."""
+    with pytest.raises(ValueError):
+        MatrixConfig(
+            world=Rect(0, 0, 100, 100), visibility_radius=60.0
+        )
+
+
+def test_non_positive_service_rate_rejected():
+    with pytest.raises(ValueError):
+        MatrixConfig(matrix_service_rate=0.0)
+
+
+def test_wire_defaults_sane():
+    wire = MatrixConfig().wire
+    assert wire.spatial_tag_bytes > 0
+    assert wire.state_chunk_bytes >= 1024

@@ -1,0 +1,220 @@
+"""Integration tests for MatrixServer split/reclaim/routing flows.
+
+These drive a real deployment (coordinator + network + pool) with
+scripted game servers, injecting load reports directly — no client
+fleet, so every protocol step is observable and deterministic.
+"""
+
+from tests.core.helpers import build_deployment
+
+from repro.geometry import Rect, Vec2
+
+
+def drive_overload(sim, gs, reports=4, start=1.0, clients=200):
+    """Inject periodic overload reports from *gs*."""
+    for i in range(reports):
+        sim.at(start + i, lambda c=clients: gs.report(c))
+
+
+def test_split_creates_child_with_left_half():
+    sim, network, deployment = build_deployment()
+    ms, gs = deployment.bootstrap()
+    gs.fake_positions = [Vec2(600.0, 500.0)] * 5
+    drive_overload(sim, gs, reports=4)
+    sim.run(until=20.0)
+
+    assert ms.splits_completed == 1
+    assert len(deployment.matrix_servers) == 2
+    child = deployment.matrix_servers["ms.2"]
+    # Split-to-left: the child owns the left half.
+    assert child.partition == Rect(0.0, 0.0, 500.0, 1000.0)
+    assert ms.partition == Rect(500.0, 0.0, 1000.0, 1000.0)
+    assert child.parent == "ms.1"
+    assert [c.matrix_name for c in ms.children] == ["ms.2"]
+
+
+def test_split_registers_child_with_coordinator():
+    sim, network, deployment = build_deployment()
+    ms, gs = deployment.bootstrap()
+    drive_overload(sim, gs)
+    sim.run(until=20.0)
+    mc = deployment.coordinator
+    assert mc.server_count == 2
+    assert mc.coverage_area() == deployment.config.world.area
+
+
+def test_both_servers_get_overlap_tables_after_split():
+    sim, network, deployment = build_deployment()
+    ms, gs = deployment.bootstrap()
+    drive_overload(sim, gs)
+    sim.run(until=20.0)
+    child = deployment.matrix_servers["ms.2"]
+    assert ms._table is not None and child._table is not None
+    assert ms._table.cells, "parent must now have a boundary strip"
+    assert child._table.cells
+
+
+def test_game_server_told_of_new_range_after_split():
+    sim, network, deployment = build_deployment()
+    ms, gs = deployment.bootstrap()
+    drive_overload(sim, gs)
+    sim.run(until=20.0)
+    assert gs.range_updates
+    assert gs.range_updates[-1].partition == ms.partition
+    assert "gs.2" in gs.range_updates[-1].directory
+
+
+def test_pool_exhaustion_fails_split_gracefully():
+    sim, network, deployment = build_deployment(pool_capacity=0)
+    ms, gs = deployment.bootstrap()
+    drive_overload(sim, gs, reports=6)
+    sim.run(until=20.0)
+    assert ms.splits_completed == 0
+    assert ms.failed_splits >= 1
+    assert not ms.busy  # must not wedge
+
+
+def test_recursive_splits_under_sustained_overload():
+    sim, network, deployment = build_deployment()
+    ms, gs = deployment.bootstrap()
+    # The scripted parent stays "overloaded" forever; children never
+    # report, so only ms.1 keeps splitting.
+    drive_overload(sim, gs, reports=12, clients=500)
+    sim.run(until=30.0)
+    assert ms.splits_completed >= 2
+    assert len(deployment.matrix_servers) >= 3
+
+
+def test_reclaim_merges_partition_and_decommissions_child():
+    sim, network, deployment = build_deployment()
+    ms, gs = deployment.bootstrap()
+    drive_overload(sim, gs)
+    sim.run(until=20.0)
+    child = deployment.matrix_servers["ms.2"]
+    child_gs = deployment.game_servers["gs.2"]
+
+    # Now both report underload for a while.
+    for i in range(12):
+        sim.at(20.0 + i, lambda: gs.report(10))
+        sim.at(20.0 + i + 0.1, lambda: child_gs.report(5))
+    sim.run(until=45.0)
+
+    assert ms.reclaims_completed == 1
+    assert ms.partition == deployment.config.world
+    assert ms.children == []
+    assert "ms.2" not in deployment.matrix_servers
+    assert not network.has_node("ms.2")
+    assert not network.has_node("gs.2")
+    assert deployment.pool.in_use == 0
+    # Child's game server was told to evacuate to the parent's.
+    assert child_gs.evacuations == ["gs.1"]
+
+
+def test_reclaim_refused_while_child_has_children():
+    sim, network, deployment = build_deployment()
+    ms, gs = deployment.bootstrap()
+    drive_overload(sim, gs)
+    sim.run(until=20.0)
+    child = deployment.matrix_servers["ms.2"]
+    child_gs = deployment.game_servers["gs.2"]
+
+    # The child itself splits.
+    for i in range(4):
+        sim.at(20.0 + i, lambda: child_gs.report(200))
+    sim.run(until=35.0)
+    assert child.splits_completed == 1
+    grandchild_gs = deployment.game_servers[child.children[0].game_server]
+
+    # Parent + child report underload, but the child has a child:
+    # gossip carries has_children=True, so no reclaim may fire.
+    for i in range(10):
+        sim.at(35.0 + i, lambda: gs.report(10))
+        sim.at(35.0 + i + 0.1, lambda: child_gs.report(5))
+    sim.run(until=50.0)
+    assert ms.reclaims_completed == 0
+    assert "ms.2" in deployment.matrix_servers
+
+    # Once the grandchild is reclaimed, the chain unwinds fully.
+    for i in range(25):
+        sim.at(50.0 + i, lambda: gs.report(10))
+        sim.at(50.0 + i + 0.1, lambda: child_gs.report(5))
+        sim.at(50.0 + i + 0.2, lambda: grandchild_gs.report(2))
+    sim.run(until=90.0)
+    assert child.reclaims_completed == 1
+    assert ms.reclaims_completed == 1
+    assert ms.partition == deployment.config.world
+
+
+def test_routing_interior_packet_stays_local():
+    sim, network, deployment = build_deployment()
+    pairs = deployment.bootstrap_grid(2, 1)
+    sim.run(until=1.0)
+    gs_left = pairs[0][1]
+    ms_left = pairs[0][0]
+    gs_right = pairs[1][1]
+    gs_left.emit(Vec2(100.0, 500.0))  # deep interior
+    sim.run(until=2.0)
+    assert ms_left.forwarded_packets == 0
+    assert gs_right.delivered == []
+
+
+def test_routing_boundary_packet_reaches_neighbour():
+    sim, network, deployment = build_deployment()
+    pairs = deployment.bootstrap_grid(2, 1)
+    sim.run(until=1.0)
+    gs_left = pairs[0][1]
+    gs_right = pairs[1][1]
+    gs_left.emit(Vec2(480.0, 500.0))  # within R=50 of the border
+    sim.run(until=2.0)
+    assert len(gs_right.delivered) == 1
+    assert gs_right.delivered[0].origin == Vec2(480.0, 500.0)
+
+
+def test_routing_with_remote_dest_reaches_owner():
+    sim, network, deployment = build_deployment()
+    pairs = deployment.bootstrap_grid(2, 1)
+    sim.run(until=1.0)
+    gs_left = pairs[0][1]
+    gs_right = pairs[1][1]
+    # Interior origin, but explicitly destined for the right half.
+    gs_left.emit(Vec2(100.0, 500.0), dest=Vec2(900.0, 500.0))
+    sim.run(until=2.0)
+    assert len(gs_right.delivered) == 1
+
+
+def test_stale_forward_dropped_by_range_check():
+    sim, network, deployment = build_deployment()
+    pairs = deployment.bootstrap_grid(2, 1)
+    sim.run(until=1.0)
+    ms_right = pairs[1][0]
+    gs_right = pairs[1][1]
+    # Hand-craft a forward for a point nowhere near ms.2's partition.
+    from repro.core.messages import SpatialPacket
+
+    packet = SpatialPacket(origin=Vec2(10.0, 10.0), payload="stale")
+    pairs[0][0].send("ms.2", "matrix.forward", packet, size_bytes=64)
+    sim.run(until=2.0)
+    assert ms_right.stale_forwards == 1
+    assert gs_right.delivered == []
+
+
+def test_no_table_no_forwarding():
+    """Before the first table arrives, spatial packets are local-only."""
+    sim, network, deployment = build_deployment()
+    ms, gs = deployment.bootstrap()
+    # Emit before running the sim at all (table not yet delivered).
+    gs.emit(Vec2(500.0, 500.0))
+    sim.run(until=1.0)
+    assert ms.local_only_packets == 1
+
+
+def test_gossip_reaches_parent():
+    sim, network, deployment = build_deployment()
+    ms, gs = deployment.bootstrap()
+    drive_overload(sim, gs)
+    sim.run(until=20.0)
+    child_gs = deployment.game_servers["gs.2"]
+    sim.at(20.0, lambda: child_gs.report(42))
+    sim.run(until=22.0)
+    assert ms._child_loads["ms.2"].client_count == 42
+    assert ms._child_loads["ms.2"].has_children is False

@@ -1,0 +1,96 @@
+"""Tests for the spatial hash grid."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.games.grid import SpatialGrid
+from repro.geometry import Vec2
+
+
+def test_empty_grid_counts_zero():
+    grid = SpatialGrid(10.0)
+    assert grid.count_within(Vec2(0, 0), 100.0, cap=10) == 0
+
+
+def test_insert_and_count():
+    grid = SpatialGrid(10.0)
+    grid.insert("a", Vec2(5, 5))
+    grid.insert("b", Vec2(8, 5))
+    grid.insert("c", Vec2(50, 50))
+    assert grid.count_within(Vec2(5, 5), 10.0, cap=10) == 2
+    assert grid.count_within(Vec2(5, 5), 100.0, cap=10) == 3
+
+
+def test_exclude_id():
+    grid = SpatialGrid(10.0)
+    grid.insert("me", Vec2(5, 5))
+    grid.insert("other", Vec2(6, 5))
+    assert grid.count_within(Vec2(5, 5), 10.0, cap=10, exclude_id="me") == 1
+
+
+def test_cap_limits_count():
+    grid = SpatialGrid(10.0)
+    for i in range(100):
+        grid.insert(f"e{i}", Vec2(5, 5))
+    assert grid.count_within(Vec2(5, 5), 10.0, cap=7) == 7
+
+
+def test_clear():
+    grid = SpatialGrid(10.0)
+    grid.insert("a", Vec2(5, 5))
+    grid.clear()
+    assert len(grid) == 0
+    assert grid.count_within(Vec2(5, 5), 10.0, cap=10) == 0
+
+
+def test_radius_boundary_inclusive():
+    grid = SpatialGrid(10.0)
+    grid.insert("edge", Vec2(10, 0))
+    assert grid.count_within(Vec2(0, 0), 10.0, cap=10) == 1
+    assert grid.count_within(Vec2(0, 0), 9.999, cap=10) == 0
+
+
+def test_negative_coordinates():
+    grid = SpatialGrid(10.0)
+    grid.insert("neg", Vec2(-15, -15))
+    assert grid.count_within(Vec2(-10, -10), 10.0, cap=10) == 1
+
+
+def test_zero_radius_or_cap():
+    grid = SpatialGrid(10.0)
+    grid.insert("a", Vec2(0, 0))
+    assert grid.count_within(Vec2(0, 0), 0.0, cap=10) == 0
+    assert grid.count_within(Vec2(0, 0), 10.0, cap=0) == 0
+
+
+def test_bad_cell_size():
+    with pytest.raises(ValueError):
+        SpatialGrid(0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    entities=st.lists(
+        st.tuples(
+            st.floats(min_value=-100, max_value=100),
+            st.floats(min_value=-100, max_value=100),
+        ),
+        max_size=40,
+    ),
+    qx=st.floats(min_value=-100, max_value=100),
+    qy=st.floats(min_value=-100, max_value=100),
+    radius=st.floats(min_value=0.1, max_value=150.0),
+    cell=st.floats(min_value=1.0, max_value=50.0),
+)
+def test_property_matches_brute_force(entities, qx, qy, radius, cell):
+    grid = SpatialGrid(cell)
+    for i, (x, y) in enumerate(entities):
+        grid.insert(f"e{i}", Vec2(x, y))
+    query = Vec2(qx, qy)
+    expected = sum(
+        1
+        for x, y in entities
+        if (x - qx) ** 2 + (y - qy) ** 2 <= radius * radius
+    )
+    got = grid.count_within(query, radius, cap=1000)
+    assert got == expected

@@ -1,0 +1,143 @@
+"""Tests for distance metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    Rect,
+    ToroidalMetric,
+    Vec2,
+    metric_by_name,
+)
+
+WORLD = Rect(0, 0, 100, 100)
+
+points = st.builds(
+    Vec2,
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+)
+
+
+def test_euclidean_distance():
+    assert EuclideanMetric().distance(Vec2(0, 0), Vec2(3, 4)) == 5.0
+
+
+def test_chebyshev_distance():
+    assert ChebyshevMetric().distance(Vec2(0, 0), Vec2(3, 4)) == 4.0
+
+
+def test_manhattan_distance():
+    assert ManhattanMetric().distance(Vec2(0, 0), Vec2(3, 4)) == 7.0
+
+
+def test_toroidal_wraps():
+    metric = ToroidalMetric(WORLD)
+    # 1 unit apart across the x seam.
+    assert metric.distance(Vec2(0.5, 50), Vec2(99.5, 50)) == pytest.approx(1.0)
+
+
+def test_toroidal_interior_matches_euclidean():
+    metric = ToroidalMetric(WORLD)
+    a, b = Vec2(10, 10), Vec2(13, 14)
+    assert metric.distance(a, b) == pytest.approx(5.0)
+
+
+def test_within():
+    metric = EuclideanMetric()
+    assert metric.within(Vec2(0, 0), Vec2(3, 4), 5.0)
+    assert not metric.within(Vec2(0, 0), Vec2(3, 4), 4.9)
+
+
+def test_expand_rect_default():
+    r = Rect(10, 10, 20, 20)
+    assert EuclideanMetric().expand_rect(r, 2.0) == Rect(8, 8, 22, 22)
+
+
+def test_toroidal_expand_rect_saturates_to_world():
+    metric = ToroidalMetric(WORLD)
+    r = Rect(10, 10, 20, 20)
+    assert metric.expand_rect(r, 60.0) == WORLD
+
+
+def test_metric_by_name():
+    assert metric_by_name("euclidean").name == "euclidean"
+    assert metric_by_name("chebyshev").name == "chebyshev"
+    assert metric_by_name("manhattan").name == "manhattan"
+    assert metric_by_name("toroidal", world=WORLD).name == "toroidal"
+
+
+def test_metric_by_name_unknown_raises():
+    with pytest.raises(ValueError):
+        metric_by_name("hyperbolic")
+
+
+def test_toroidal_by_name_requires_world():
+    with pytest.raises(ValueError):
+        metric_by_name("toroidal")
+
+
+@given(points, points)
+def test_symmetry_all_metrics(a, b):
+    for metric in (
+        EuclideanMetric(),
+        ChebyshevMetric(),
+        ManhattanMetric(),
+        ToroidalMetric(WORLD),
+    ):
+        assert metric.distance(a, b) == pytest.approx(metric.distance(b, a))
+
+
+@given(points, points, points)
+def test_triangle_inequality(a, b, c):
+    for metric in (EuclideanMetric(), ChebyshevMetric(), ManhattanMetric()):
+        ab = metric.distance(a, b)
+        bc = metric.distance(b, c)
+        ac = metric.distance(a, c)
+        assert ac <= ab + bc + 1e-9
+
+
+@given(points, points)
+def test_metric_ordering(a, b):
+    """Chebyshev <= Euclidean <= Manhattan for any pair."""
+    cheb = ChebyshevMetric().distance(a, b)
+    eucl = EuclideanMetric().distance(a, b)
+    manh = ManhattanMetric().distance(a, b)
+    assert cheb <= eucl + 1e-9
+    assert eucl <= manh + 1e-9
+
+
+@given(points, points)
+def test_toroidal_never_exceeds_euclidean(a, b):
+    assert ToroidalMetric(WORLD).distance(a, b) <= (
+        EuclideanMetric().distance(a, b) + 1e-9
+    )
+
+
+@given(points)
+def test_identity(p):
+    for metric in (
+        EuclideanMetric(),
+        ChebyshevMetric(),
+        ManhattanMetric(),
+        ToroidalMetric(WORLD),
+    ):
+        assert metric.distance(p, p) == 0.0
+
+
+@given(
+    points,
+    st.floats(min_value=0.1, max_value=20.0),
+)
+def test_expand_rect_is_superset_of_true_neighbourhood(p, radius):
+    """Any point within metric-distance R of the rect lies in expand(rect, R)."""
+    rect = Rect(40, 40, 60, 60)
+    for metric in (EuclideanMetric(), ChebyshevMetric(), ManhattanMetric()):
+        closest = rect.clamp_point(p)
+        if metric.distance(p, closest) <= radius:
+            assert metric.expand_rect(rect, radius).contains_closed(p)

@@ -1,0 +1,87 @@
+"""Integration tests for the microbenchmark and comparison harnesses."""
+
+import pytest
+
+from repro.games.profile import bzflag_profile
+from repro.harness.compare import compare_game
+from repro.harness.fig2 import Fig2Schedule, mini_fig2_policy
+from repro.harness.micro import (
+    bandwidth_overlap_correlation,
+    coordinator_overhead,
+    measure_bandwidth_vs_overlap,
+    measure_switching_latency,
+)
+from repro.harness.userstudy import measure_transparency
+
+
+def test_switching_latency_microbench():
+    summary = measure_switching_latency(
+        bzflag_profile(), clients=50, duration=45.0, seed=0
+    )
+    assert summary.count >= 10
+    # Two WAN legs + light queueing: tens of milliseconds.
+    assert 0.01 < summary.p50 < 0.2
+    assert summary.maximum < 1.0
+
+
+def test_bandwidth_tracks_overlap():
+    points = measure_bandwidth_vs_overlap(
+        bzflag_profile(), radii=(20.0, 50.0, 80.0), clients=60,
+        duration=25.0, seed=0,
+    )
+    assert len(points) == 3
+    assert bandwidth_overlap_correlation(points) > 0.9
+    byte_counts = [p.forward_bytes for p in points]
+    assert byte_counts == sorted(byte_counts)
+    areas = [p.overlap_area for p in points]
+    assert areas == sorted(areas)
+
+
+def test_compare_matrix_beats_static():
+    scale = 0.1
+    schedule = Fig2Schedule().scaled(scale)
+    schedule.duration = 120.0
+    row = compare_game(
+        bzflag_profile(),
+        schedule,
+        policy=mini_fig2_policy(scale),
+        seed=1,
+        scale=scale,
+    )
+    assert row.matrix_wins
+    assert row.matrix.servers_used > row.static.servers_used
+    assert row.static.p99_latency > row.matrix.p99_latency
+
+
+def test_transparency_report():
+    report = measure_transparency(
+        bzflag_profile(),
+        hotspot_clients=40,
+        background_clients=20,
+        duration=100.0,
+        settle_time=60.0,
+        seed=0,
+    )
+    assert report.splits_triggered > 0
+    assert report.transparent
+    assert abs(report.added_p50) < report.threshold
+
+
+def test_coordinator_overhead_accessor():
+    from repro.harness.experiment import MatrixExperiment
+    from repro.harness.fig2 import install_fig2_workload
+    from repro.harness.compare import scaled_profile
+
+    schedule = Fig2Schedule().scaled(0.05)
+    schedule.duration = 60.0
+    experiment = MatrixExperiment(
+        scaled_profile(bzflag_profile(), 0.05),
+        policy=mini_fig2_policy(0.05),
+        seed=0,
+    )
+    install_fig2_workload(experiment, schedule)
+    result = experiment.run(until=schedule.duration)
+    overhead = coordinator_overhead(result)
+    assert overhead.total_messages > 0
+    assert 0.0 < overhead.message_fraction < 0.05
+    assert overhead.mc_messages >= 2  # register + at least one table push

@@ -1,0 +1,105 @@
+"""Tests for the finite-service-rate receive queue."""
+
+import pytest
+
+from repro.net import Message, ReceiveQueue
+from repro.sim import Simulator
+
+
+def make_message(i=0, size=100):
+    return Message(src="a", dst="b", kind="test", payload=i, size_bytes=size)
+
+
+def test_infinite_rate_services_immediately():
+    sim = Simulator()
+    handled = []
+    queue = ReceiveQueue(sim, handled.append)
+    queue.deliver(make_message(1))
+    assert [m.payload for m in handled] == [1]
+    assert queue.length == 0
+
+
+def test_finite_rate_delays_service():
+    sim = Simulator()
+    handled = []
+    queue = ReceiveQueue(sim, lambda m: handled.append(sim.now), service_rate=10.0)
+    queue.deliver(make_message())
+    assert handled == []
+    sim.run()
+    assert handled == [pytest.approx(0.1)]
+
+
+def test_queue_builds_under_overload():
+    sim = Simulator()
+    queue = ReceiveQueue(sim, lambda m: None, service_rate=10.0)
+    # 100 arrivals at t=0; service rate 10/s -> after 1s, ~90 remain.
+    for i in range(100):
+        queue.deliver(make_message(i))
+    sim.run(until=1.0)
+    assert 85 <= queue.length <= 91
+    assert queue.peak_length == 100
+
+
+def test_queue_drains_in_fifo_order():
+    sim = Simulator()
+    order = []
+    queue = ReceiveQueue(sim, lambda m: order.append(m.payload), service_rate=100.0)
+    for i in range(5):
+        queue.deliver(make_message(i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_capacity_drops_excess():
+    sim = Simulator()
+    queue = ReceiveQueue(sim, lambda m: None, service_rate=1.0, capacity=10)
+    for i in range(25):
+        queue.deliver(make_message(i))
+    # The message in service still occupies its queue slot, so 10 fit.
+    assert queue.dropped_count == 15
+    sim.run(until=1.0)
+
+
+def test_serviced_count():
+    sim = Simulator()
+    queue = ReceiveQueue(sim, lambda m: None, service_rate=10.0)
+    for i in range(5):
+        queue.deliver(make_message(i))
+    sim.run()
+    assert queue.serviced_count == 5
+    assert queue.length == 0
+
+
+def test_set_service_rate_speeds_drain():
+    sim = Simulator()
+    queue = ReceiveQueue(sim, lambda m: None, service_rate=1.0)
+    for i in range(50):
+        queue.deliver(make_message(i))
+    sim.after(1.0, lambda: queue.set_service_rate(1000.0))
+    # The service period already in flight finishes at the old rate;
+    # everything after drains at the new rate.
+    sim.run(until=3.0)
+    assert queue.length == 0
+
+
+def test_non_positive_rate_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ReceiveQueue(sim, lambda m: None, service_rate=0.0)
+    queue = ReceiveQueue(sim, lambda m: None, service_rate=1.0)
+    with pytest.raises(ValueError):
+        queue.set_service_rate(-1.0)
+
+
+def test_negative_message_size_rejected():
+    with pytest.raises(ValueError):
+        Message(src="a", dst="b", kind="k", payload=None, size_bytes=-1)
+
+
+def test_busy_time_accumulates():
+    sim = Simulator()
+    queue = ReceiveQueue(sim, lambda m: None, service_rate=10.0)
+    for i in range(10):
+        queue.deliver(make_message(i))
+    sim.run()
+    assert queue.busy_time == pytest.approx(1.0)

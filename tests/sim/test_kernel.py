@@ -1,0 +1,175 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_initial_time_is_zero():
+    assert Simulator().now == 0.0
+
+
+def test_custom_start_time():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_after_fires_at_relative_time():
+    sim = Simulator()
+    fired = []
+    sim.after(1.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.5]
+
+
+def test_at_fires_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.at(3.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [3.0]
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.after(2.0, lambda: order.append("b"))
+    sim.after(1.0, lambda: order.append("a"))
+    sim.after(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.at(1.0, lambda i=i: order.append(i))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_priority_breaks_ties():
+    sim = Simulator()
+    order = []
+    sim.at(1.0, lambda: order.append("low"), priority=5)
+    sim.at(1.0, lambda: order.append("high"), priority=-5)
+    sim.run()
+    assert order == ["high", "low"]
+
+
+def test_scheduling_in_past_raises():
+    sim = Simulator()
+    sim.after(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        Simulator().after(-1.0, lambda: None)
+
+
+def test_run_until_advances_clock_to_until():
+    sim = Simulator()
+    sim.after(1.0, lambda: None)
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_does_not_fire_later_events():
+    sim = Simulator()
+    fired = []
+    sim.after(5.0, lambda: fired.append("late"))
+    sim.run(until=2.0)
+    assert fired == []
+    assert sim.pending_events == 1
+
+
+def test_run_resumes_after_until():
+    sim = Simulator()
+    fired = []
+    sim.after(5.0, lambda: fired.append(sim.now))
+    sim.run(until=2.0)
+    sim.run(until=10.0)
+    assert fired == [5.0]
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    event = sim.after(1.0, lambda: fired.append(1))
+    sim.cancel(event)
+    sim.run()
+    assert fired == []
+    assert sim.pending_events == 0
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.after(1.0, lambda: None)
+    sim.cancel(event)
+    sim.cancel(event)
+    assert sim.pending_events == 0
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.after(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.after(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        sim.after(1.0, lambda: fired.append("second"))
+
+    sim.after(1.0, first)
+    sim.run()
+    assert fired == ["second"]
+    assert sim.now == 2.0
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    count = []
+    for i in range(10):
+        sim.at(float(i), lambda: count.append(1))
+    sim.run(max_events=3)
+    assert len(count) == 3
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.at(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_reentrant_run_raises():
+    sim = Simulator()
+    errors = []
+
+    def inner():
+        try:
+            sim.run()
+        except SimulationError:
+            errors.append(True)
+
+    sim.after(1.0, inner)
+    sim.run()
+    assert errors == [True]
+
+
+def test_zero_delay_event_fires_at_now():
+    sim = Simulator()
+    fired = []
+    sim.after(0.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [0.0]

@@ -1,0 +1,116 @@
+"""Tests for periodic tasks and timers."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+from repro.sim.process import Timer
+
+
+def test_periodic_fires_at_interval():
+    sim = Simulator()
+    times = []
+    sim.every(1.0, lambda: times.append(sim.now))
+    sim.run(until=3.5)
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_periodic_with_explicit_start():
+    sim = Simulator()
+    times = []
+    sim.every(1.0, lambda: times.append(sim.now), start=0.0)
+    sim.run(until=2.5)
+    assert times == [0.0, 1.0, 2.0]
+
+
+def test_periodic_stop():
+    sim = Simulator()
+    times = []
+    task = sim.every(1.0, lambda: times.append(sim.now))
+    sim.after(2.5, task.stop)
+    sim.run(until=10.0)
+    assert times == [1.0, 2.0]
+    assert task.stopped
+
+
+def test_periodic_self_stop_from_callback():
+    sim = Simulator()
+    times = []
+
+    def cb():
+        times.append(sim.now)
+        if len(times) == 3:
+            task.stop()
+
+    task = sim.every(1.0, cb)
+    sim.run(until=10.0)
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_periodic_fire_count():
+    sim = Simulator()
+    task = sim.every(0.5, lambda: None)
+    sim.run(until=2.0)
+    assert task.fire_count == 4
+
+
+def test_periodic_reschedule_changes_interval():
+    sim = Simulator()
+    times = []
+    task = sim.every(1.0, lambda: times.append(sim.now))
+    sim.after(1.5, lambda: task.reschedule(2.0))
+    sim.run(until=6.0)
+    # fires at 1.0, 2.0 (already scheduled), then every 2.0: 4.0, 6.0
+    assert times == [1.0, 2.0, 4.0, 6.0]
+
+
+def test_periodic_non_positive_interval_raises():
+    with pytest.raises(SimulationError):
+        Simulator().every(0.0, lambda: None)
+
+
+def test_periodic_reschedule_rejects_non_positive():
+    sim = Simulator()
+    task = sim.every(1.0, lambda: None)
+    with pytest.raises(ValueError):
+        task.reschedule(0.0)
+
+
+def test_timer_fires_once():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(2.0)
+    sim.run(until=10.0)
+    assert fired == [2.0]
+    assert not timer.armed
+
+
+def test_timer_restart_supersedes():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(2.0)
+    sim.after(1.0, lambda: timer.start(5.0))
+    sim.run(until=10.0)
+    assert fired == [6.0]
+
+
+def test_timer_cancel():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(1))
+    timer.start(1.0)
+    timer.cancel()
+    sim.run()
+    assert fired == []
+    assert not timer.armed
+
+
+def test_timer_armed_flag():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    assert not timer.armed
+    timer.start(1.0)
+    assert timer.armed
+    sim.run()
+    assert not timer.armed

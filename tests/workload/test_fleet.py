@@ -1,0 +1,83 @@
+"""Tests for the client fleet workload generator."""
+
+from repro.games.profile import bzflag_profile
+from repro.geometry import Vec2
+from repro.harness.experiment import MatrixExperiment
+
+
+def make_experiment():
+    return MatrixExperiment(bzflag_profile(), seed=3)
+
+
+def test_spawn_background_joins_clients():
+    experiment = make_experiment()
+    experiment.fleet.spawn_background(10, at=0.0)
+    experiment.sim.run(until=5.0)
+    assert len(experiment.fleet.active_clients()) == 10
+    assert experiment.deployment.total_clients() == 10
+
+
+def test_spawn_hotspot_concentrates_positions():
+    experiment = make_experiment()
+    center = Vec2(400, 400)
+    experiment.fleet.spawn_hotspot(30, center, spread=20.0, at=1.0,
+                                   group="spot")
+    experiment.sim.run(until=8.0)
+    clients = experiment.fleet.groups["spot"]
+    assert len(clients) == 30
+    near = sum(1 for c in clients if c.position.distance_to(center) < 100.0)
+    assert near >= 27  # gaussian tails allowed
+
+
+def test_hotspot_arrivals_spread_over_time():
+    experiment = make_experiment()
+    experiment.fleet.spawn_hotspot(20, Vec2(400, 400), spread=10.0,
+                                   at=5.0, group="spot", over=4.0)
+    experiment.sim.run(until=5.5)
+    early = len(experiment.fleet.groups.get("spot", []))
+    experiment.sim.run(until=10.0)
+    late = len(experiment.fleet.groups["spot"])
+    assert 0 < early < late == 20
+
+
+def test_depart_group_drains_in_batches():
+    experiment = make_experiment()
+    experiment.fleet.spawn_hotspot(30, Vec2(400, 400), spread=10.0,
+                                   at=0.0, group="spot")
+    experiment.fleet.depart_group("spot", batch_size=10, start=20.0,
+                                  interval=10.0)
+    experiment.sim.run(until=15.0)
+    assert len(experiment.fleet.active_clients()) == 30
+    experiment.sim.run(until=25.0)
+    assert len(experiment.fleet.active_clients()) == 20
+    experiment.sim.run(until=55.0)
+    assert len(experiment.fleet.active_clients()) == 0
+
+
+def test_departures_leave_other_groups_alone():
+    experiment = make_experiment()
+    experiment.fleet.spawn_background(5, at=0.0)
+    experiment.fleet.spawn_hotspot(10, Vec2(400, 400), spread=10.0,
+                                   at=0.0, group="spot")
+    experiment.fleet.depart_group("spot", batch_size=10, start=10.0,
+                                  interval=5.0)
+    experiment.sim.run(until=30.0)
+    active = experiment.fleet.active_clients()
+    assert len(active) == 5
+
+
+def test_latency_aggregation():
+    experiment = make_experiment()
+    experiment.fleet.spawn_background(8, at=0.0)
+    experiment.sim.run(until=30.0)
+    latencies = experiment.fleet.all_action_latencies()
+    assert latencies, "clients fire actions and get acks"
+    assert all(lat > 0 for lat in latencies)
+
+
+def test_client_names_unique():
+    experiment = make_experiment()
+    experiment.fleet.spawn_background(12, at=0.0)
+    experiment.sim.run(until=2.0)
+    names = [c.name for c in experiment.fleet.clients]
+    assert len(set(names)) == len(names)

@@ -1,0 +1,124 @@
+"""Tests for mobility models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect, Vec2
+from repro.workload.mobility import HotspotMobility, RandomWaypoint, Stationary
+
+WORLD = Rect(0, 0, 100, 100)
+
+
+def test_stationary_never_moves():
+    model = Stationary()
+    p = Vec2(5, 5)
+    for _ in range(10):
+        p = model.step(p, 1.0)
+    assert p == Vec2(5, 5)
+
+
+def test_random_waypoint_moves_at_speed():
+    model = RandomWaypoint(WORLD, speed=10.0, rng=random.Random(1))
+    p0 = Vec2(50, 50)
+    p1 = model.step(p0, 1.0)
+    assert p0.distance_to(p1) <= 10.0 + 1e-9
+    assert p0.distance_to(p1) > 0.0
+
+
+def test_random_waypoint_stays_in_world():
+    model = RandomWaypoint(WORLD, speed=30.0, rng=random.Random(2))
+    p = Vec2(50, 50)
+    for _ in range(200):
+        p = model.step(p, 1.0)
+        assert WORLD.contains(p)
+
+
+def test_random_waypoint_pause():
+    model = RandomWaypoint(WORLD, speed=1000.0, rng=random.Random(3), pause=5.0)
+    p = model.step(Vec2(50, 50), 1.0)  # reaches waypoint instantly
+    p2 = model.step(p, 1.0)  # paused
+    assert p2 == p
+
+
+def test_random_waypoint_negative_speed_rejected():
+    with pytest.raises(ValueError):
+        RandomWaypoint(WORLD, speed=-1.0, rng=random.Random(0))
+
+
+def test_hotspot_converges_to_center():
+    center = Vec2(80, 80)
+    model = HotspotMobility(WORLD, center, spread=5.0, speed=20.0,
+                            rng=random.Random(4))
+    p = Vec2(10, 10)
+    for _ in range(60):
+        p = model.step(p, 1.0)
+    assert p.distance_to(center) < 20.0
+
+
+def test_hotspot_loiters_once_arrived():
+    center = Vec2(50, 50)
+    model = HotspotMobility(WORLD, center, spread=5.0, speed=20.0,
+                            rng=random.Random(5))
+    p = Vec2(50, 50)
+    positions = []
+    for _ in range(100):
+        p = model.step(p, 1.0)
+        positions.append(p)
+    # Loitering: stays near the centre but keeps moving.
+    assert all(q.distance_to(center) < 30.0 for q in positions[20:])
+    assert len({q.as_tuple() for q in positions}) > 10
+
+
+def test_hotspot_retarget_moves_population():
+    model = HotspotMobility(WORLD, Vec2(20, 20), spread=3.0, speed=25.0,
+                            rng=random.Random(6))
+    p = Vec2(20, 20)
+    for _ in range(10):
+        p = model.step(p, 1.0)
+    model.retarget(Vec2(80, 80))
+    for _ in range(60):
+        p = model.step(p, 1.0)
+    assert p.distance_to(Vec2(80, 80)) < 15.0
+
+
+def test_hotspot_bad_spread_rejected():
+    with pytest.raises(ValueError):
+        HotspotMobility(WORLD, Vec2(0, 0), spread=0.0, speed=1.0,
+                        rng=random.Random(0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    speed=st.floats(min_value=0.1, max_value=50.0),
+    steps=st.integers(min_value=1, max_value=100),
+)
+def test_property_models_stay_in_world(seed, speed, steps):
+    rng = random.Random(seed)
+    models = [
+        RandomWaypoint(WORLD, speed, random.Random(seed)),
+        HotspotMobility(WORLD, Vec2(50, 50), 10.0, speed, random.Random(seed)),
+    ]
+    for model in models:
+        p = Vec2(rng.uniform(0, 99), rng.uniform(0, 99))
+        for _ in range(steps):
+            p = model.step(p, 0.5)
+            assert WORLD.contains(p)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    speed=st.floats(min_value=0.1, max_value=30.0),
+    dt=st.floats(min_value=0.05, max_value=2.0),
+)
+def test_property_speed_bound(seed, speed, dt):
+    """No model ever moves faster than its configured speed."""
+    model = RandomWaypoint(WORLD, speed, random.Random(seed))
+    p = Vec2(50, 50)
+    for _ in range(50):
+        q = model.step(p, dt)
+        assert p.distance_to(q) <= speed * dt + 1e-6
+        p = q
