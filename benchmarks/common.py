@@ -13,7 +13,9 @@ crossovers fall) are preserved while wall-clock time drops ~10x.  Set
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 from functools import lru_cache
 from pathlib import Path
 
@@ -66,3 +68,24 @@ def record(name: str, text: str) -> None:
     print(text)
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def record_json(name: str, metrics: dict) -> Path:
+    """Persist machine-readable bench results as ``BENCH_<name>.json``.
+
+    Every bench that has quantitative outputs should call this in
+    addition to :func:`record`: the JSON files are what CI and the
+    perf-trajectory tooling diff from run to run, so regressions show
+    up as numbers rather than as ASCII-art changes.
+    """
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "bench": name,
+        "scale": SCALE,
+        "seed": SEED,
+        "python": platform.python_version(),
+        "metrics": metrics,
+    }
+    path = OUTPUT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -11,7 +11,8 @@ nothing but the public :class:`repro.core.api.MatrixPort` API:
 * tag outbound packets with coordinates (``port.send_spatial``),
 * report load periodically (``port.report_load``),
 * consume two callbacks (``on_deliver``, ``on_set_range``),
-* let ``port.handle`` eat Matrix traffic first.
+* route Matrix's message kinds to ``port.handle`` with one
+  ``@handles`` registration.
 
 Everything else — splits, reclaims, routing, consistency — happens
 underneath, and this file never imports any of it.
@@ -21,13 +22,13 @@ Run:  python examples/custom_game_integration.py
 
 from dataclasses import dataclass
 
-from repro.core.api import MatrixPort
+from repro.core.api import MatrixPort, PORT_KINDS
 from repro.core.config import LoadPolicyConfig, MatrixConfig
 from repro.core.deployment import MatrixDeployment
 from repro.geometry import Rect, Vec2
 from repro.net.message import Message
 from repro.net.network import Network
-from repro.net.node import Node
+from repro.net.node import Node, handles
 from repro.sim.kernel import Simulator
 
 WORLD = Rect(0.0, 0.0, 400.0, 400.0)
@@ -82,10 +83,12 @@ class CtfServer(Node):
             payload_bytes=48, client_id=player,
         )
 
-    def handle_message(self, message: Message) -> None:
-        if self.port.handle(message):
-            return  # Matrix traffic, fully absorbed by the port
-        # ... our own client protocol would go here ...
+    @handles(*PORT_KINDS)
+    def _on_matrix_traffic(self, message: Message) -> None:
+        self.port.handle(message)  # Matrix traffic, absorbed by the port
+
+    # ... handlers for our own client protocol would be registered
+    # here with further @handles("...") methods ...
 
 
 def main() -> None:

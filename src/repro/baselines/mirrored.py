@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from repro.core.messages import SpatialPacket
 from repro.games.profile import GameProfile
 from repro.net.message import Message
-from repro.net.node import Node
+from repro.net.node import Node, handles
 
 
 class MirrorServer(Node):
@@ -43,19 +43,20 @@ class MirrorServer(Node):
         """Install the mirror group (excluding this server)."""
         self._peers = [peer for peer in peers if peer != self.name]
 
-    def handle_message(self, message: Message) -> None:
-        kind = message.kind
-        if kind in ("client.update", "client.action"):
-            self.client_packets += 1
-            for peer in self._peers:
-                self.send(
-                    peer,
-                    "mirror.replicate",
-                    message.payload,
-                    size_bytes=message.size_bytes,
-                )
-        elif kind == "mirror.replicate":
-            self.replica_packets += 1
+    @handles("client.update", "client.action")
+    def _on_client_packet(self, message: Message) -> None:
+        self.client_packets += 1
+        for peer in self._peers:
+            self.send(
+                peer,
+                "mirror.replicate",
+                message.payload,
+                size_bytes=message.size_bytes,
+            )
+
+    @handles("mirror.replicate")
+    def _on_replicate(self, message: Message) -> None:
+        self.replica_packets += 1
 
 
 @dataclass(frozen=True, slots=True)

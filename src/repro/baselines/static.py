@@ -33,7 +33,7 @@ from repro.geometry import (
 )
 from repro.net.message import Message
 from repro.net.network import Network, lan_profile, wan_profile
-from repro.net.node import Node
+from repro.net.node import Node, handles
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.workload.fleet import ClientFleet
@@ -84,14 +84,11 @@ class StaticZoneRouter(Node):
         )
         self.send(self._game_server, "gs.set_range", directive, size_bytes=128)
 
-    def handle_message(self, message: Message) -> None:
-        kind = message.kind
-        if kind == "game.spatial":
-            self._on_spatial(message)
-        elif kind == "matrix.forward":
-            self._on_forward(message)
-        # matrix.load reports are absorbed: nothing adapts here.
+    @handles("matrix.load")
+    def _on_load_report(self, message: Message) -> None:
+        """Load reports are absorbed: nothing adapts here."""
 
+    @handles("game.spatial")
     def _on_spatial(self, message: Message) -> None:
         packet: SpatialPacket = message.payload
         point = packet.route_point()
@@ -108,6 +105,7 @@ class StaticZoneRouter(Node):
                 )
                 self.forwarded_packets += 1
 
+    @handles("matrix.forward")
     def _on_forward(self, message: Message) -> None:
         packet: SpatialPacket = message.payload
         reach = self._metric.expand_rect(self._partition, self._radius)

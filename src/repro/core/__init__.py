@@ -1,7 +1,12 @@
 """Matrix middleware core: coordinator, servers, policy, deployment."""
 
 from repro.core.api import GameServerHandle, MatrixPort
-from repro.core.config import LoadPolicyConfig, MatrixConfig, WireConfig
+from repro.core.config import (
+    LoadPolicyConfig,
+    MatrixConfig,
+    MiddlewareConfig,
+    WireConfig,
+)
 from repro.core.coordinator import MatrixCoordinator, StandbyCoordinator
 from repro.core.deployment import GameServerFactory, MatrixDeployment, ServerEvent
 from repro.core.messages import (
@@ -26,7 +31,14 @@ from repro.core.messages import (
 )
 from repro.core.policy import ChildLoad, Decision, LoadPolicy
 from repro.core.pool import ServerPool
-from repro.core.server import ChildRecord, Fabric, MatrixServer
+from repro.core.runtime import (
+    ChildRecord,
+    Fabric,
+    MatrixServer,
+    ServerContext,
+    ServerStats,
+    install_middleware,
+)
 from repro.core.splitting import (
     LoadWeighted,
     LongestAxis,
@@ -56,13 +68,16 @@ __all__ = [
     "MatrixDeployment",
     "MatrixPort",
     "MatrixServer",
+    "MiddlewareConfig",
     "OverlapTableUpdate",
     "ReclaimAck",
     "ReclaimNotice",
     "ReclaimRequest",
     "RegisterServer",
+    "ServerContext",
     "ServerEvent",
     "ServerPool",
+    "ServerStats",
     "SetRange",
     "SpatialPacket",
     "SplitGrant",
@@ -75,4 +90,5 @@ __all__ = [
     "StateDone",
     "UnregisterServer",
     "WireConfig",
+    "install_middleware",
 ]

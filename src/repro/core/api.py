@@ -34,6 +34,18 @@ from repro.geometry import Rect, Vec2
 from repro.net.message import Message
 from repro.net.node import Node
 
+#: kind -> MatrixPort handler-method name: the single source of truth
+#: for the traffic a port consumes.
+_PORT_HANDLERS = {
+    "matrix.deliver": "_handle_deliver",
+    "gs.set_range": "_handle_set_range",
+    "gs.query_reply": "_handle_query_reply",
+}
+
+#: The message kinds a MatrixPort consumes.  Game servers route these
+#: to :meth:`MatrixPort.handle` (``@handles(*PORT_KINDS)``).
+PORT_KINDS = tuple(_PORT_HANDLERS)
+
 
 @runtime_checkable
 class GameServerHandle(Protocol):
@@ -77,6 +89,11 @@ class MatrixPort:
         self._control_bytes = control_bytes
         self._matrix_name: str | None = None
         self._pending_queries: dict[int, Callable[[frozenset], None]] = {}
+        # The port's own little dispatch table, derived from the one
+        # authoritative kind list.
+        self._handlers: dict[str, Callable[[Message], None]] = {
+            kind: getattr(self, name) for kind, name in _PORT_HANDLERS.items()
+        }
         #: Called with a :class:`SpatialPacket` from a peer's region.
         self.on_deliver: Callable[[SpatialPacket], None] | None = None
         #: Called with a :class:`SetRange` directive.
@@ -189,28 +206,37 @@ class MatrixPort:
     # ------------------------------------------------------------------
     # Inbound (Matrix → game server)
     # ------------------------------------------------------------------
+    @property
+    def kinds(self) -> frozenset[str]:
+        """The message kinds this port consumes."""
+        return frozenset(self._handlers)
+
     def handle(self, message: Message) -> bool:
         """Consume Matrix-originated messages; returns True if consumed.
 
-        Game servers call this first in their message handler and fall
-        through to game logic only when it returns False — the entirety
-        of the "relatively simple modifications to the server code" the
-        paper's conclusion mentions.
+        Game servers route these kinds here (via their dispatch table or
+        by calling this first) and keep game logic for the rest — the
+        entirety of the "relatively simple modifications to the server
+        code" the paper's conclusion mentions.
         """
-        if message.kind == "matrix.deliver":
-            deliver: DeliverPacket = message.payload
-            self.delivered_remote += 1
-            if self.on_deliver is not None:
-                self.on_deliver(deliver.packet)
-            return True
-        if message.kind == "gs.set_range":
-            if self.on_set_range is not None:
-                self.on_set_range(message.payload)
-            return True
-        if message.kind == "gs.query_reply":
-            reply = message.payload
-            callback = self._pending_queries.pop(reply.request_id, None)
-            if callback is not None:
-                callback(reply.servers)
-            return True
-        return False
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            return False
+        handler(message)
+        return True
+
+    def _handle_deliver(self, message: Message) -> None:
+        deliver: DeliverPacket = message.payload
+        self.delivered_remote += 1
+        if self.on_deliver is not None:
+            self.on_deliver(deliver.packet)
+
+    def _handle_set_range(self, message: Message) -> None:
+        if self.on_set_range is not None:
+            self.on_set_range(message.payload)
+
+    def _handle_query_reply(self, message: Message) -> None:
+        reply = message.payload
+        callback = self._pending_queries.pop(reply.request_id, None)
+        if callback is not None:
+            callback(reply.servers)

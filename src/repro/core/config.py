@@ -76,6 +76,43 @@ class WireConfig:
 
 
 @dataclass(slots=True)
+class MiddlewareConfig:
+    """Opt-in middleware pipeline stages installed on Matrix servers.
+
+    Cross-cutting concerns ride the pipeline instead of being edits to
+    the router: per-kind traffic metrics, aggregation of same-
+    destination spatial forwards within a tick, and drop/duplicate
+    fault injection for robustness experiments.
+    """
+
+    #: Aggregate same-destination ``matrix.forward`` packets per window.
+    batch_spatial_forwards: bool = False
+    #: Batching flush window in seconds (one game tick by default).
+    batch_window: float = 0.05
+    #: Wire overhead of one aggregated batch message.
+    batch_header_bytes: int = 16
+    #: Keep per-kind inbound/outbound counters on every Matrix server.
+    kind_metrics: bool = False
+    #: Probability of dropping an outbound fault-injected kind.
+    fault_drop_rate: float = 0.0
+    #: Probability of duplicating an outbound fault-injected kind.
+    fault_duplicate_rate: float = 0.0
+    #: Message kinds subject to fault injection.
+    fault_kinds: tuple = ("matrix.forward",)
+    #: Seed for the per-server fault-injection RNG streams.
+    fault_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_window <= 0:
+            raise ValueError("batch_window must be positive")
+        if self.batch_header_bytes < 0:
+            raise ValueError("batch_header_bytes must be non-negative")
+        for rate in (self.fault_drop_rate, self.fault_duplicate_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate out of [0, 1]: {rate}")
+
+
+@dataclass(slots=True)
 class MatrixConfig:
     """Top-level configuration of a Matrix deployment."""
 
@@ -96,6 +133,8 @@ class MatrixConfig:
     policy: LoadPolicyConfig = field(default_factory=LoadPolicyConfig)
     #: Wire-format sizes.
     wire: WireConfig = field(default_factory=WireConfig)
+    #: Opt-in middleware pipeline stages (batching, metrics, faults).
+    middleware: MiddlewareConfig = field(default_factory=MiddlewareConfig)
     #: Matrix-server routing capacity (packets/second serviced).
     matrix_service_rate: float = 20000.0
     #: Seconds to provision a server host from the pool.

@@ -22,13 +22,14 @@ from repro.core.messages import (
     UnregisterServer,
 )
 from repro.geometry import (
+    PartitionIndex,
     Rect,
     consistency_set_at,
     decompose_partition,
     metric_by_name,
 )
 from repro.net.message import Message
-from repro.net.node import Node
+from repro.net.node import Node, handles
 
 
 class MatrixCoordinator(Node):
@@ -44,6 +45,9 @@ class MatrixCoordinator(Node):
         self._version = 0
         self._standby: str | None = None
         self._sync_task = None
+        # Indexed point → owner lookup, rebuilt lazily whenever the
+        # partitioning changes (replaces the old O(N) scan per query).
+        self._owner_index: PartitionIndex | None = None
         self.recompute_count = 0
         self.query_count = 0
 
@@ -73,26 +77,17 @@ class MatrixCoordinator(Node):
     # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
-    def handle_message(self, message: Message) -> None:
-        kind = message.kind
-        if kind == "mc.register":
-            self._on_register(message.payload)
-        elif kind == "mc.split":
-            self._on_split(message.payload)
-        elif kind == "mc.reclaim":
-            self._on_reclaim(message.payload)
-        elif kind == "mc.unregister":
-            self._on_unregister(message.payload)
-        elif kind == "mc.query":
-            self._on_query(message.src, message.payload)
-
-    def _on_register(self, reg: RegisterServer) -> None:
+    @handles("mc.register")
+    def _on_register(self, message: Message) -> None:
+        reg: RegisterServer = message.payload
         self._partitions[reg.matrix_server] = reg.partition
         self._game_server_of[reg.matrix_server] = reg.game_server
         self._radius = reg.visibility_radius
         self._recompute_and_push()
 
-    def _on_split(self, notice: SplitNotice) -> None:
+    @handles("mc.split")
+    def _on_split(self, message: Message) -> None:
+        notice: SplitNotice = message.payload
         if notice.parent not in self._partitions:
             return  # stale notice from a server we no longer know
         self._partitions[notice.parent] = notice.parent_partition
@@ -101,7 +96,9 @@ class MatrixCoordinator(Node):
         self._radius = notice.visibility_radius
         self._recompute_and_push()
 
-    def _on_reclaim(self, notice: ReclaimNotice) -> None:
+    @handles("mc.reclaim")
+    def _on_reclaim(self, message: Message) -> None:
+        notice: ReclaimNotice = message.payload
         if notice.parent not in self._partitions:
             return
         self._partitions.pop(notice.child, None)
@@ -109,18 +106,25 @@ class MatrixCoordinator(Node):
         self._partitions[notice.parent] = notice.merged_partition
         self._recompute_and_push()
 
-    def _on_unregister(self, unreg: UnregisterServer) -> None:
+    @handles("mc.unregister")
+    def _on_unregister(self, message: Message) -> None:
+        unreg: UnregisterServer = message.payload
         self._partitions.pop(unreg.matrix_server, None)
         self._game_server_of.pop(unreg.matrix_server, None)
         self._recompute_and_push()
 
-    def _on_query(self, src: str, query: ConsistencyQuery) -> None:
+    def _owner_of(self, point) -> str | None:
+        """Indexed owner lookup (rebuilt only when partitions changed)."""
+        if self._owner_index is None:
+            self._owner_index = PartitionIndex(self._partitions)
+        return self._owner_index.lookup(point)
+
+    @handles("mc.query")
+    def _on_query(self, message: Message) -> None:
+        query: ConsistencyQuery = message.payload
+        src = message.src
         self.query_count += 1
-        owner = None
-        for pid, rect in self._partitions.items():
-            if rect.contains(query.point):
-                owner = pid
-                break
+        owner = self._owner_of(query.point)
         servers = consistency_set_at(
             query.point, owner, self._partitions, self._radius, self._metric
         )
@@ -178,6 +182,7 @@ class MatrixCoordinator(Node):
         """
         self.recompute_count += 1
         self._version += 1
+        self._owner_index = None  # partitioning changed: rebuild lazily
         directory = {
             self._game_server_of[ms]: rect
             for ms, rect in self._partitions.items()
@@ -240,16 +245,17 @@ class StandbyCoordinator(MatrixCoordinator):
         """Begin watching the primary's sync heartbeats."""
         self._monitor = self.sim.every(check_interval, self._check_primary)
 
-    def handle_message(self, message) -> None:
-        if message.kind == "mc.sync":
-            self._on_sync(message.payload)
+    def dispatch(self, message: Message) -> None:
+        # Before promotion every MC message except the sync heartbeat
+        # belongs to the primary; receiving one here is a misdirected
+        # stray — drop it.
+        if not self.promoted and message.kind != "mc.sync":
             return
-        if self.promoted:
-            super().handle_message(message)
-        # Before promotion every other MC message belongs to the
-        # primary; receiving one here is a misdirected stray — drop it.
+        super().dispatch(message)
 
-    def _on_sync(self, state: dict) -> None:
+    @handles("mc.sync")
+    def _on_sync(self, message: Message) -> None:
+        state: dict = message.payload
         self._last_sync = self.sim.now
         if self.promoted:
             return  # a zombie primary's stale sync must not demote us
@@ -257,6 +263,7 @@ class StandbyCoordinator(MatrixCoordinator):
         self._game_server_of = dict(state["game_server_of"])
         self._radius = state["radius"]
         self._version = state["version"]
+        self._owner_index = None
 
     def _check_primary(self) -> None:
         if self.promoted or self._last_sync is None:

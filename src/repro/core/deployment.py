@@ -2,11 +2,12 @@
 
 A :class:`MatrixDeployment` owns the runtime inventory of a Matrix-
 hosted game: it bootstraps the first Matrix+game server pair over the
-whole world, implements the :class:`~repro.core.server.Fabric` services
-(host acquisition, pair spawning, decommissioning), applies network
-profiles (LAN between servers, WAN to clients, loopback within a
-co-located pair), and records a spawn/decommission event log the
-experiment harness turns into Fig 2's annotations.
+whole world, implements the :class:`~repro.core.runtime.fabric.Fabric`
+services (host acquisition, pair spawning, decommissioning), applies
+network profiles (LAN between servers, WAN to clients, loopback within
+a co-located pair), installs the configured middleware pipeline on
+every Matrix server it creates, and records a spawn/decommission event
+log the experiment harness turns into Fig 2's annotations.
 """
 
 from __future__ import annotations
@@ -18,7 +19,7 @@ from repro.core.api import GameServerHandle
 from repro.core.config import MatrixConfig
 from repro.core.coordinator import MatrixCoordinator, StandbyCoordinator
 from repro.core.pool import ServerPool
-from repro.core.server import MatrixServer
+from repro.core.runtime import MatrixServer, install_middleware
 from repro.geometry import Rect, Vec2
 from repro.net.network import Network, lan_profile, wan_profile
 from repro.net.node import Node
@@ -146,6 +147,7 @@ class MatrixDeployment:
             host_id=host_id,
         )
         self.network.add_node(matrix_server)
+        install_middleware(matrix_server, self.config)
         self.network.set_colocated(ms_name, gs_name)
         game_server.bind_matrix(ms_name, partition)
         self.matrix_servers[ms_name] = matrix_server

@@ -1,0 +1,31 @@
+"""The Matrix server runtime: cohesive components over a shared context.
+
+Replaces the old monolithic ``repro.core.server`` module.  See
+:class:`~repro.core.runtime.server.MatrixServer` for the facade and the
+component modules (``router``, ``lifecycle``, ``transfer``, ``gossip``,
+``queries``) for the mechanics.
+"""
+
+from repro.core.runtime.context import ChildRecord, ServerContext, ServerStats
+from repro.core.runtime.fabric import Fabric
+from repro.core.runtime.gossip import LoadMonitor
+from repro.core.runtime.lifecycle import Lifecycle
+from repro.core.runtime.pipeline import install_middleware
+from repro.core.runtime.queries import QueryRelay
+from repro.core.runtime.router import SpatialRouter
+from repro.core.runtime.server import MatrixServer
+from repro.core.runtime.transfer import StateTransfer
+
+__all__ = [
+    "ChildRecord",
+    "Fabric",
+    "Lifecycle",
+    "LoadMonitor",
+    "MatrixServer",
+    "QueryRelay",
+    "ServerContext",
+    "ServerStats",
+    "SpatialRouter",
+    "StateTransfer",
+    "install_middleware",
+]

@@ -1,0 +1,28 @@
+"""Deployment services a Matrix server calls out to."""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.geometry import Rect, Vec2
+
+
+class Fabric(Protocol):
+    """Out-of-band infrastructure behind a Matrix server.
+
+    Models the server pool's provisioning workflow and the local game
+    server's own data (client positions are read only at split time, to
+    place a load-weighted cut).
+    """
+
+    def acquire_host(self, callback) -> None:
+        """Request a spare host; callback gets a host id or ``None``."""
+
+    def spawn_pair(self, host_id: str, partition: Rect, parent: str, callback) -> None:
+        """Create a Matrix+game server pair; callback gets (ms, gs) names."""
+
+    def decommission_pair(self, matrix_name: str, host_id: str) -> None:
+        """Remove a reclaimed pair from the network, free its host."""
+
+    def client_positions(self, game_server: str) -> Sequence[Vec2]:
+        """Positions of the clients on *game_server* (split-time only)."""

@@ -1,0 +1,180 @@
+"""Split and reclaim state machines (§3.2.3).
+
+* **Splitting** — on sustained overload, acquire a host from the pool,
+  split the partition (default: split-to-left), spawn a child Matrix
+  server + game server pair, transfer the map state, then atomically
+  announce the new ranges to the MC.  Purely local decisions; recursion
+  happens naturally because the policy keeps firing while overloaded.
+* **Reclamation** — on sustained underload, reclaim the youngest
+  childless child (LIFO keeps merged partitions rectangular), evacuate
+  its clients to the parent's game server, transfer state back, release
+  the host to the pool, and announce the merge to the MC.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import (
+    ReclaimAck,
+    ReclaimNotice,
+    ReclaimRequest,
+    SplitGrant,
+    SplitNotice,
+)
+from repro.core.runtime.context import ChildRecord, ServerContext
+from repro.core.runtime.transfer import StateTransfer
+from repro.geometry import Rect
+from repro.net.message import Message
+
+
+class Lifecycle:
+    """Orchestrates this server's splits and reclaims."""
+
+    def __init__(self, ctx: ServerContext, transfer: StateTransfer) -> None:
+        self._ctx = ctx
+        self._transfer = transfer
+        transfer.on_complete("split", self._finalize_split)
+        transfer.on_complete("reclaim", self._finalize_reclaim_child)
+        # Split-in-flight context.
+        self._pending_kept: Rect | None = None
+        self._pending_given: Rect | None = None
+        self._pending_host: str | None = None
+        self._pending_child: tuple[str, str] | None = None
+        # Reclaim-in-flight context (on the parent side).
+        self._reclaiming: ChildRecord | None = None
+
+    # ------------------------------------------------------------------
+    # Split orchestration
+    # ------------------------------------------------------------------
+    def begin_split(self) -> None:
+        ctx = self._ctx
+        ctx.busy = True
+        ctx.policy.note_split(ctx.now)
+        ctx.fabric.acquire_host(self._on_host_acquired)
+
+    def _on_host_acquired(self, host_id: str | None) -> None:
+        ctx = self._ctx
+        if ctx.dying:
+            ctx.busy = False
+            return
+        if host_id is None:
+            # Pool exhausted: Matrix degrades to static behaviour here.
+            ctx.stats.failed_splits += 1
+            ctx.busy = False
+            return
+        positions = ctx.fabric.client_positions(ctx.game_server)
+        kept, given = ctx.strategy.split(ctx.partition, positions)
+        self._pending_kept = kept
+        self._pending_given = given
+        self._pending_host = host_id
+        ctx.fabric.spawn_pair(host_id, given, ctx.name, self._on_child_ready)
+
+    def _on_child_ready(self, child_ms: str, child_gs: str) -> None:
+        if self._pending_given is None:  # defensive: cancelled split
+            return
+        ctx = self._ctx
+        self._pending_child = (child_ms, child_gs)
+        grant = SplitGrant(
+            parent=ctx.name,
+            child_partition=self._pending_given,
+            parent_partition=self._pending_kept,
+        )
+        ctx.control_send(child_ms, "matrix.ctl.split_grant", grant)
+        self._transfer.start(child_ms, self._pending_given, context="split")
+
+    def _finalize_split(self) -> None:
+        ctx = self._ctx
+        child_ms, child_gs = self._pending_child
+        ctx.partition = self._pending_kept
+        ctx.children.append(
+            ChildRecord(
+                matrix_name=child_ms,
+                game_server=child_gs,
+                host_id=self._pending_host,
+                born_at=ctx.now,
+            )
+        )
+        notice = SplitNotice(
+            parent=ctx.name,
+            parent_partition=self._pending_kept,
+            child=child_ms,
+            child_game_server=child_gs,
+            child_partition=self._pending_given,
+            visibility_radius=ctx.config.visibility_radius,
+        )
+        ctx.control_send(ctx.coordinator, "mc.split", notice)
+        self._pending_kept = None
+        self._pending_given = None
+        self._pending_host = None
+        self._pending_child = None
+        ctx.stats.splits_completed += 1
+        ctx.busy = False
+
+    def on_split_grant(self, message: Message) -> None:
+        # The child was constructed with its partition already; the
+        # grant confirms the parent relationship for the protocol's sake.
+        grant: SplitGrant = message.payload
+        self._ctx.parent = grant.parent
+
+    # ------------------------------------------------------------------
+    # Reclaim orchestration
+    # ------------------------------------------------------------------
+    def begin_reclaim(self) -> None:
+        ctx = self._ctx
+        child = ctx.children[-1]
+        ctx.busy = True
+        self._reclaiming = child
+        ctx.policy.note_reclaim(ctx.now)
+        request = ReclaimRequest(
+            parent=ctx.name, parent_game_server=ctx.game_server
+        )
+        ctx.control_send(child.matrix_name, "matrix.ctl.reclaim_req", request)
+
+    def on_reclaim_request(self, message: Message) -> None:
+        ctx = self._ctx
+        request: ReclaimRequest = message.payload
+        if ctx.busy or ctx.children:
+            # Mid-split, or we have children of our own: refuse.
+            ctx.control_send(message.src, "matrix.ctl.reclaim_nack", None)
+            return
+        ctx.busy = True
+        ctx.dying = True
+        # Evacuate our clients to the parent's game server, then send
+        # the dynamic state back.
+        ctx.control_send(ctx.game_server, "gs.evacuate", request.parent_game_server)
+        self._transfer.start(request.parent, ctx.partition, "reclaim")
+
+    def _finalize_reclaim_child(self) -> None:
+        """Child side: state is back at the parent; announce and die."""
+        ctx = self._ctx
+        ack = ReclaimAck(
+            child=ctx.name,
+            child_partition=ctx.partition,
+            client_count=ctx.client_count,
+        )
+        ctx.control_send(ctx.parent, "matrix.ctl.reclaim_ack", ack)
+
+    def on_reclaim_nack(self, message: Message) -> None:
+        self._reclaiming = None
+        self._ctx.busy = False
+
+    def on_reclaim_ack(self, message: Message) -> None:
+        ctx = self._ctx
+        ack: ReclaimAck = message.payload
+        child = self._reclaiming
+        if child is None or child.matrix_name != ack.child:
+            return
+        ctx.partition = ctx.partition.union_bounds(ack.child_partition)
+        ctx.children = [
+            c for c in ctx.children if c.matrix_name != ack.child
+        ]
+        ctx.child_loads.pop(ack.child, None)
+        notice = ReclaimNotice(
+            parent=ctx.name,
+            merged_partition=ctx.partition,
+            child=ack.child,
+        )
+        ctx.control_send(ctx.coordinator, "mc.reclaim", notice)
+        ctx.fabric.decommission_pair(child.matrix_name, child.host_id)
+        self._reclaiming = None
+        ctx.stats.reclaims_completed += 1
+        ctx.busy = False

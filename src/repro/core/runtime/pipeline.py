@@ -1,0 +1,56 @@
+"""Builds a Matrix server's middleware pipeline from its config.
+
+The deployment calls :func:`install_middleware` on every Matrix server
+it creates, so one :class:`~repro.core.config.MiddlewareConfig` governs
+the whole fleet — both endpoints of a batched link are guaranteed to
+speak the batch format.
+
+Stage order (outermost first): kind metrics, spatial batching, fault
+injection.  Fault injection is innermost so drops/duplicates act on
+*individual* packets before batching aggregates the survivors —
+otherwise batching would consume the faulted kinds before the fault
+stage ever saw them.  Metrics sits outermost: inbound it sees every wire
+message (including ``net.batch``); outbound it does *not* see kinds
+the batching stage absorbs (individual forwards are consumed before
+they reach it, and flushed batches plus duplicate clones re-enter the
+wire below the pipeline) — per-kind wire truth is ``network.stats``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.config import MatrixConfig
+from repro.net.middleware import (
+    FaultInjectionStage,
+    KindMetricsStage,
+    SpatialBatchingStage,
+)
+from repro.net.node import Node
+
+
+def install_middleware(server: Node, config: MatrixConfig) -> None:
+    """Install the configured pipeline stages on *server*."""
+    mw = config.middleware
+    if mw.kind_metrics:
+        server.use(KindMetricsStage())
+    if mw.batch_spatial_forwards:
+        server.use(
+            SpatialBatchingStage(
+                window=mw.batch_window,
+                header_bytes=mw.batch_header_bytes,
+            )
+        )
+    if mw.fault_drop_rate or mw.fault_duplicate_rate:
+        # One independent deterministic stream per server: seeding from
+        # the (seed, name) string keeps streams stable across runs
+        # regardless of creation order.
+        rng = random.Random(f"{mw.fault_seed}:{server.name}")
+        server.use(
+            FaultInjectionStage(
+                rng=rng,
+                drop_rate=mw.fault_drop_rate,
+                duplicate_rate=mw.fault_duplicate_rate,
+                kinds=mw.fault_kinds,
+            )
+        )

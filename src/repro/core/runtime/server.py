@@ -1,0 +1,283 @@
+"""The Matrix server (§3.2.3) — "the heart of our distributed middleware".
+
+The server itself is now a thin facade: a :class:`~repro.net.node.Node`
+whose declarative dispatch table routes each message kind to one of the
+runtime components —
+
+* :class:`~repro.core.runtime.router.SpatialRouter` — O(1) overlap-table
+  forwarding and table installation;
+* :class:`~repro.core.runtime.lifecycle.Lifecycle` — the split/reclaim
+  state machines;
+* :class:`~repro.core.runtime.transfer.StateTransfer` — chunked map
+  state transfer;
+* :class:`~repro.core.runtime.gossip.LoadMonitor` — load reports,
+  parent/child gossip, policy decisions;
+* :class:`~repro.core.runtime.queries.QueryRelay` — non-proximal
+  consistency queries via the MC.
+
+All components share one :class:`~repro.core.runtime.context.ServerContext`.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MatrixConfig
+from repro.core.messages import RegisterServer
+from repro.core.policy import ChildLoad, LoadPolicy
+from repro.core.runtime.context import ChildRecord, ServerContext, ServerStats
+from repro.core.runtime.fabric import Fabric
+from repro.core.runtime.gossip import LoadMonitor
+from repro.core.runtime.lifecycle import Lifecycle
+from repro.core.runtime.queries import QueryRelay
+from repro.core.runtime.router import SpatialRouter
+from repro.core.runtime.transfer import StateTransfer
+from repro.core.splitting import SplitStrategy, strategy_by_name
+from repro.geometry import Rect, RegionIndex
+from repro.net.message import Message
+from repro.net.node import Node, handles
+
+
+class MatrixServer(Node):
+    """One Matrix middleware server, co-located with one game server."""
+
+    def __init__(
+        self,
+        name: str,
+        game_server: str,
+        config: MatrixConfig,
+        fabric: Fabric,
+        partition: Rect,
+        parent: str | None = None,
+        host_id: str = "host-0",
+        coordinator: str = "mc",
+        strategy: SplitStrategy | None = None,
+    ) -> None:
+        super().__init__(name, service_rate=config.matrix_service_rate)
+        self.ctx = ServerContext(
+            node=self,
+            config=config,
+            game_server=game_server,
+            fabric=fabric,
+            partition=partition,
+            parent=parent,
+            host_id=host_id,
+            coordinator=coordinator,
+            strategy=strategy or strategy_by_name(config.split_strategy),
+        )
+        self.transfer = StateTransfer(self.ctx)
+        self.lifecycle = Lifecycle(self.ctx, self.transfer)
+        self.router = SpatialRouter(self.ctx)
+        self.load = LoadMonitor(self.ctx, self.lifecycle)
+        self.queries = QueryRelay(self.ctx)
+
+    # ------------------------------------------------------------------
+    # Introspection (stable facade over the shared context)
+    # ------------------------------------------------------------------
+    @property
+    def partition(self) -> Rect:
+        """The map range this server currently manages."""
+        return self.ctx.partition
+
+    @property
+    def game_server(self) -> str:
+        """Name of the co-located game server."""
+        return self.ctx.game_server
+
+    @property
+    def parent(self) -> str | None:
+        """Name of the Matrix server that spawned this one."""
+        return self.ctx.parent
+
+    @property
+    def children(self) -> list[ChildRecord]:
+        """Live children, oldest first (copy)."""
+        return list(self.ctx.children)
+
+    @property
+    def child_loads(self) -> dict[str, ChildLoad]:
+        """Latest gossiped load per child (copy)."""
+        return dict(self.ctx.child_loads)
+
+    @property
+    def host_id(self) -> str:
+        """Pool host this server runs on."""
+        return self.ctx.host_id
+
+    @property
+    def coordinator(self) -> str:
+        """Name of the MC this server currently follows."""
+        return self.ctx.coordinator
+
+    @property
+    def policy(self) -> LoadPolicy:
+        """The split/reclaim policy state machine."""
+        return self.ctx.policy
+
+    @property
+    def table_version(self) -> int:
+        """Version of the installed overlap table (0 = none yet)."""
+        return self.ctx.table_version
+
+    @property
+    def overlap_tables(self) -> dict[float, RegionIndex]:
+        """Installed overlap tables keyed by visibility radius (copy)."""
+        return dict(self.ctx.tables)
+
+    @property
+    def default_table(self) -> RegionIndex | None:
+        """The default-radius overlap table (None until the first push)."""
+        return self.ctx.default_table
+
+    @property
+    def directory(self) -> dict[str, Rect]:
+        """Last pushed game-server → partition directory (copy)."""
+        return dict(self.ctx.directory)
+
+    @property
+    def known_partitions(self) -> dict[str, Rect]:
+        """Last pushed Matrix-server → partition map (copy)."""
+        return dict(self.ctx.partitions)
+
+    @property
+    def server_map(self) -> dict[str, str]:
+        """Last pushed Matrix-server → game-server map (copy)."""
+        return dict(self.ctx.server_map)
+
+    @property
+    def busy(self) -> bool:
+        """True while a split or reclaim is in flight."""
+        return self.ctx.busy
+
+    @property
+    def dying(self) -> bool:
+        """True once this server is being reclaimed."""
+        return self.ctx.dying
+
+    @dying.setter
+    def dying(self, value: bool) -> None:
+        self.ctx.dying = value
+
+    @property
+    def client_count(self) -> int:
+        """Client count from the latest game-server load report."""
+        return self.ctx.client_count
+
+    @property
+    def stats(self) -> ServerStats:
+        """The routing/lifecycle counters."""
+        return self.ctx.stats
+
+    # Flat counter aliases, kept for the harness and benches.
+    @property
+    def radius_fallbacks(self) -> int:
+        return self.ctx.stats.radius_fallbacks
+
+    @property
+    def forwarded_packets(self) -> int:
+        return self.ctx.stats.forwarded_packets
+
+    @property
+    def delivered_packets(self) -> int:
+        return self.ctx.stats.delivered_packets
+
+    @property
+    def stale_forwards(self) -> int:
+        return self.ctx.stats.stale_forwards
+
+    @property
+    def misrouted_packets(self) -> int:
+        return self.ctx.stats.misrouted_packets
+
+    @property
+    def local_only_packets(self) -> int:
+        return self.ctx.stats.local_only_packets
+
+    @property
+    def failed_splits(self) -> int:
+        return self.ctx.stats.failed_splits
+
+    @property
+    def splits_completed(self) -> int:
+        return self.ctx.stats.splits_completed
+
+    @property
+    def reclaims_completed(self) -> int:
+        return self.ctx.stats.reclaims_completed
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def register_with_coordinator(self) -> None:
+        """Announce this server's map range to the MC (bootstrap only;
+        splits/reclaims are announced atomically by the parent)."""
+        ctx = self.ctx
+        reg = RegisterServer(
+            matrix_server=self.name,
+            game_server=ctx.game_server,
+            partition=ctx.partition,
+            visibility_radius=ctx.config.visibility_radius,
+        )
+        ctx.control_send(ctx.coordinator, "mc.register", reg)
+
+    # ------------------------------------------------------------------
+    # Message dispatch (kind -> component)
+    # ------------------------------------------------------------------
+    @handles("game.spatial")
+    def _on_spatial(self, message: Message) -> None:
+        self.router.on_spatial(message)
+
+    @handles("matrix.forward")
+    def _on_forward(self, message: Message) -> None:
+        self.router.on_forward(message)
+
+    @handles("mc.table")
+    def _on_table(self, message: Message) -> None:
+        self.router.on_table(message)
+
+    @handles("mc.failover")
+    def _on_failover(self, message: Message) -> None:
+        # A standby coordinator promoted itself; follow it.
+        self.ctx.coordinator = message.payload
+
+    @handles("matrix.load")
+    def _on_load_report(self, message: Message) -> None:
+        self.load.on_load_report(message)
+
+    @handles("matrix.gossip")
+    def _on_gossip(self, message: Message) -> None:
+        self.load.on_gossip(message)
+
+    @handles("matrix.query")
+    def _on_game_query(self, message: Message) -> None:
+        self.queries.on_game_query(message)
+
+    @handles("mc.reply")
+    def _on_mc_reply(self, message: Message) -> None:
+        self.queries.on_mc_reply(message)
+
+    @handles("matrix.ctl.split_grant")
+    def _on_split_grant(self, message: Message) -> None:
+        self.lifecycle.on_split_grant(message)
+
+    @handles("matrix.ctl.reclaim_req")
+    def _on_reclaim_request(self, message: Message) -> None:
+        self.lifecycle.on_reclaim_request(message)
+
+    @handles("matrix.ctl.reclaim_nack")
+    def _on_reclaim_nack(self, message: Message) -> None:
+        self.lifecycle.on_reclaim_nack(message)
+
+    @handles("matrix.ctl.reclaim_ack")
+    def _on_reclaim_ack(self, message: Message) -> None:
+        self.lifecycle.on_reclaim_ack(message)
+
+    @handles("matrix.state.begin")
+    def _on_state_begin(self, message: Message) -> None:
+        self.transfer.on_begin(message)
+
+    @handles("matrix.state.chunk")
+    def _on_state_chunk(self, message: Message) -> None:
+        self.transfer.on_chunk(message)
+
+    @handles("matrix.state.done")
+    def _on_state_done(self, message: Message) -> None:
+        self.transfer.on_done(message)

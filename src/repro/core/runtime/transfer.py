@@ -1,0 +1,125 @@
+"""Chunked state transfer between Matrix servers (§3.2.2).
+
+During a split the parent ships the dynamic map state of the given-away
+area to the child; during a reclaim the child ships its state back.
+Static assets (textures, geometry) are pre-cached on every host — only
+pointers travel — so what moves here is the dynamic object state,
+chunked to model bulk transfer over the LAN.
+
+Chunks and the ``begin`` control message travel independently and may
+reorder; the receiver tolerates chunks overtaking their ``begin``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.messages import StateBegin, StateChunk, StateDone
+from repro.core.runtime.context import ServerContext
+from repro.geometry import Rect
+from repro.net.message import Message
+
+
+@dataclass(slots=True)
+class _IncomingTransfer:
+    sender: str
+    total_chunks: int  # 0 until the StateBegin arrives
+    received: int
+    context: str
+
+
+class StateTransfer:
+    """Both halves of the chunked transfer protocol for one server."""
+
+    _transfer_ids = itertools.count(1)
+
+    def __init__(self, ctx: ServerContext) -> None:
+        self._ctx = ctx
+        self._outgoing: dict[int, str] = {}  # transfer id -> context
+        self._incoming: dict[int, _IncomingTransfer] = {}
+        #: Completion callbacks keyed by transfer context ("split", ...).
+        self._completions: dict[str, Callable[[], None]] = {}
+
+    def on_complete(self, context: str, callback: Callable[[], None]) -> None:
+        """Invoke *callback* when an outgoing *context* transfer finishes."""
+        self._completions[context] = callback
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+    def start(self, peer: str, area_rect: Rect, context: str) -> None:
+        """Send the dynamic map state for *area_rect* to *peer*."""
+        ctx = self._ctx
+        wire = ctx.config.wire
+        object_count = max(1, int(area_rect.area * ctx.config.map_object_density))
+        total_bytes = object_count * wire.state_object_bytes
+        total_chunks = max(1, -(-total_bytes // wire.state_chunk_bytes))
+        transfer_id = next(self._transfer_ids)
+        self._outgoing[transfer_id] = context
+        begin = StateBegin(
+            transfer_id=transfer_id,
+            total_chunks=total_chunks,
+            total_bytes=total_bytes,
+            context=context,
+        )
+        ctx.control_send(peer, "matrix.state.begin", begin)
+        remaining = total_bytes
+        for index in range(total_chunks):
+            chunk_bytes = min(wire.state_chunk_bytes, remaining)
+            remaining -= chunk_bytes
+            ctx.send(
+                peer,
+                "matrix.state.chunk",
+                StateChunk(transfer_id=transfer_id, index=index),
+                size_bytes=chunk_bytes,
+            )
+
+    def on_done(self, message: Message) -> None:
+        """The receiver confirmed completion: fire the context callback."""
+        done: StateDone = message.payload
+        context = self._outgoing.pop(done.transfer_id, None)
+        callback = self._completions.get(context) if context else None
+        if callback is not None:
+            callback()
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def on_begin(self, message: Message) -> None:
+        begin: StateBegin = message.payload
+        # A transfer record may already exist with buffered chunks.
+        transfer = self._incoming.get(begin.transfer_id)
+        if transfer is None:
+            transfer = _IncomingTransfer(
+                sender=message.src, total_chunks=0, received=0, context=""
+            )
+            self._incoming[begin.transfer_id] = transfer
+        transfer.sender = message.src
+        transfer.total_chunks = begin.total_chunks
+        transfer.context = begin.context
+        self._maybe_complete(begin.transfer_id)
+
+    def on_chunk(self, message: Message) -> None:
+        chunk: StateChunk = message.payload
+        transfer = self._incoming.get(chunk.transfer_id)
+        if transfer is None:
+            # Chunk overtook its StateBegin: buffer the count.
+            transfer = _IncomingTransfer(
+                sender=message.src, total_chunks=0, received=0, context=""
+            )
+            self._incoming[chunk.transfer_id] = transfer
+        transfer.received += 1
+        self._maybe_complete(chunk.transfer_id)
+
+    def _maybe_complete(self, transfer_id: int) -> None:
+        transfer = self._incoming.get(transfer_id)
+        if transfer is None or transfer.total_chunks <= 0:
+            return
+        if transfer.received < transfer.total_chunks:
+            return
+        del self._incoming[transfer_id]
+        self._ctx.control_send(
+            transfer.sender, "matrix.state.done", StateDone(transfer_id=transfer_id)
+        )

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, Sequence
 
-from repro.core.api import MatrixPort
+from repro.core.api import MatrixPort, PORT_KINDS
 from repro.core.messages import SpatialPacket
 from repro.games.grid import SpatialGrid
 from repro.games.packets import (
@@ -35,7 +35,7 @@ from repro.games.packets import (
 from repro.games.profile import GameProfile
 from repro.geometry import Rect, Vec2
 from repro.net.message import Message
-from repro.net.node import Node
+from repro.net.node import Node, handles
 
 #: Control-plane message kinds that jump the game server's data queue.
 CONTROL_KINDS = frozenset({"gs.set_range", "gs.evacuate", "gs.query_reply"})
@@ -151,21 +151,15 @@ class GameServer(Node):
     # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
-    def handle_message(self, message: Message) -> None:
-        if self.port.handle(message):
-            return
-        kind = message.kind
-        if kind == "client.update":
-            self._on_client_update(message)
-        elif kind == "client.action":
-            self._on_client_action(message)
-        elif kind == "client.hello":
-            self._on_client_hello(message)
-        elif kind == "client.bye":
-            self._on_client_bye(message.payload)
-        elif kind == "gs.evacuate":
-            self._evacuate_all(message.payload)
+    @handles(*PORT_KINDS)
+    def _on_matrix_traffic(self, message: Message) -> None:
+        self.port.handle(message)
 
+    @handles("gs.evacuate")
+    def _on_evacuate(self, message: Message) -> None:
+        self._evacuate_all(message.payload)
+
+    @handles("client.hello")
     def _on_client_hello(self, message: Message) -> None:
         hello: Hello = message.payload
         self._tombstones.pop(hello.client_id, None)
@@ -182,6 +176,7 @@ class GameServer(Node):
         if not self._range.contains(hello.position):
             self._redirect(hello.client_id)
 
+    @handles("client.update")
     def _on_client_update(self, message: Message) -> None:
         update: PlayerUpdate = message.payload
         record = self._clients.get(update.client_id)
@@ -209,6 +204,7 @@ class GameServer(Node):
         ):
             self._redirect(update.client_id)
 
+    @handles("client.action")
     def _on_client_action(self, message: Message) -> None:
         action: ActionEvent = message.payload
         record = self._clients.get(action.client_id)
@@ -225,7 +221,9 @@ class GameServer(Node):
             client_id=action.client_id,
         )
 
-    def _on_client_bye(self, goodbye: Goodbye) -> None:
+    @handles("client.bye")
+    def _on_client_bye(self, message: Message) -> None:
+        goodbye: Goodbye = message.payload
         self._clients.pop(goodbye.client_id, None)
         self._tombstones.pop(goodbye.client_id, None)
 
@@ -429,15 +427,7 @@ class GameClient(Node):
     # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
-    def handle_message(self, message: Message) -> None:
-        kind = message.kind
-        if kind == "gs.welcome":
-            self._on_welcome(message)
-        elif kind == "gs.switch":
-            self._on_switch(message.payload)
-        elif kind == "gs.snapshot":
-            self._on_snapshot(message.payload)
-
+    @handles("gs.welcome")
     def _on_welcome(self, message: Message) -> None:
         welcome: Welcome = message.payload
         if self._pending is not None and message.src == self._pending:
@@ -459,7 +449,9 @@ class GameClient(Node):
                     start=self.sim.now + self._rng.uniform(0.0, period),
                 )
 
-    def _on_switch(self, directive: SwitchDirective) -> None:
+    @handles("gs.switch")
+    def _on_switch(self, message: Message) -> None:
+        directive: SwitchDirective = message.payload
         if directive.target in (self._server, self._pending):
             return
         self._pending = directive.target
@@ -489,7 +481,9 @@ class GameClient(Node):
             self._server = None
             self.join(target, self._position)
 
-    def _on_snapshot(self, snapshot: Snapshot) -> None:
+    @handles("gs.snapshot")
+    def _on_snapshot(self, message: Message) -> None:
+        snapshot: Snapshot = message.payload
         self.snapshots_received += 1
         acked = [
             seq

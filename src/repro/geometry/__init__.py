@@ -13,6 +13,7 @@ from repro.geometry.regions import (
     ConsistencySet,
     OverlapCell,
     OverlapRegion,
+    PartitionIndex,
     RegionIndex,
     compute_overlap_map,
     consistency_set_at,
@@ -30,6 +31,7 @@ __all__ = [
     "Metric",
     "OverlapCell",
     "OverlapRegion",
+    "PartitionIndex",
     "Rect",
     "RegionIndex",
     "ToroidalMetric",

@@ -294,6 +294,60 @@ class RegionIndex:
         return self._grid[yi][xi]
 
 
+class PartitionIndex:
+    """Indexed point → partition-owner lookup over a set of rectangles.
+
+    The same grid-bisection trick :class:`RegionIndex` uses, applied to
+    the whole partitioning: all partition boundaries form a grid whose
+    elementary cells each lie inside exactly one partition (boundaries
+    are grid lines, containment is half-open), so labelling each cell
+    with the partition containing its centre gives an exact
+    O(log n)-bisect owner lookup.  Replaces the O(N) linear scans the
+    coordinator and routers used per query/misrouted packet.
+    """
+
+    def __init__(self, partitions: Mapping[object, Rect]) -> None:
+        self._rects = dict(partitions)
+        xs: set[float] = set()
+        ys: set[float] = set()
+        for rect in self._rects.values():
+            xs.update((rect.xmin, rect.xmax))
+            ys.update((rect.ymin, rect.ymax))
+        self._xs = sorted(xs)
+        self._ys = sorted(ys)
+        self._bounds: Rect | None = (
+            Rect(self._xs[0], self._ys[0], self._xs[-1], self._ys[-1])
+            if self._rects
+            else None
+        )
+        columns = max(len(self._xs) - 1, 0)
+        self._grid: list[list[object | None]] = []
+        for yi in range(max(len(self._ys) - 1, 0)):
+            cy = (self._ys[yi] + self._ys[yi + 1]) / 2.0
+            row: list[object | None] = []
+            for xi in range(columns):
+                centre = Vec2((self._xs[xi] + self._xs[xi + 1]) / 2.0, cy)
+                owner = None
+                for pid, rect in self._rects.items():
+                    if rect.contains(centre):
+                        owner = pid
+                        break
+                row.append(owner)
+            self._grid.append(row)
+
+    def __len__(self) -> int:
+        return len(self._rects)
+
+    def lookup(self, point: Vec2) -> object | None:
+        """Owner of *point*, or ``None`` when no partition contains it."""
+        bounds = self._bounds
+        if bounds is None or not bounds.contains(point):
+            return None
+        xi = bisect.bisect_right(self._xs, point.x) - 1
+        yi = bisect.bisect_right(self._ys, point.y) - 1
+        return self._grid[yi][xi]
+
+
 def compute_overlap_map(
     partitions: Mapping[object, Rect],
     radius: float,

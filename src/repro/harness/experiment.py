@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.timeseries import Sampler, TimeSeries
-from repro.core.config import LoadPolicyConfig, MatrixConfig
+from repro.core.config import LoadPolicyConfig, MatrixConfig, MiddlewareConfig
 from repro.core.deployment import MatrixDeployment, ServerEvent
 from repro.games.base import GameServer
 from repro.games.profile import GameProfile
@@ -24,7 +24,9 @@ from repro.workload.fleet import ClientFleet
 
 
 def matrix_config_for(
-    profile: GameProfile, policy: LoadPolicyConfig | None = None
+    profile: GameProfile,
+    policy: LoadPolicyConfig | None = None,
+    middleware: MiddlewareConfig | None = None,
 ) -> MatrixConfig:
     """Derive a MatrixConfig from a game profile."""
     return MatrixConfig(
@@ -32,6 +34,7 @@ def matrix_config_for(
         visibility_radius=profile.visibility_radius,
         metric_name=profile.metric_name,
         policy=policy or LoadPolicyConfig(),
+        middleware=middleware or MiddlewareConfig(),
     )
 
 
@@ -90,6 +93,7 @@ class MatrixExperiment:
         profile: GameProfile,
         policy: LoadPolicyConfig | None = None,
         matrix_config: MatrixConfig | None = None,
+        middleware: MiddlewareConfig | None = None,
         seed: int = 0,
         pool_capacity: int = 16,
         sample_period: float = 1.0,
@@ -99,7 +103,9 @@ class MatrixExperiment:
         self.rng = RngRegistry(seed=seed)
         self.sim = Simulator()
         self.network = Network(self.sim, rng=self.rng.stream("network"))
-        self.config = matrix_config or matrix_config_for(profile, policy)
+        self.config = matrix_config or matrix_config_for(
+            profile, policy, middleware
+        )
         self.deployment = MatrixDeployment(
             self.sim,
             self.network,

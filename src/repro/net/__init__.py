@@ -1,5 +1,10 @@
 """Simulated network substrate: links, latency, queues, traffic stats."""
 
+from repro.net.dispatch import (
+    DispatchCollisionError,
+    build_dispatch_table,
+    handles,
+)
 from repro.net.latency import (
     ConstantLatency,
     LatencyModel,
@@ -10,6 +15,14 @@ from repro.net.latency import (
     wan,
 )
 from repro.net.message import Message
+from repro.net.middleware import (
+    BATCH_KIND,
+    FaultInjectionStage,
+    KindMetricsStage,
+    MiddlewarePipeline,
+    MiddlewareStage,
+    SpatialBatchingStage,
+)
 from repro.net.network import (
     LinkProfile,
     Network,
@@ -22,17 +35,26 @@ from repro.net.queue import ReceiveQueue
 from repro.net.stats import Counter, TrafficStats
 
 __all__ = [
+    "BATCH_KIND",
     "ConstantLatency",
     "Counter",
+    "DispatchCollisionError",
+    "FaultInjectionStage",
+    "KindMetricsStage",
     "LatencyModel",
     "LinkProfile",
     "Message",
+    "MiddlewarePipeline",
+    "MiddlewareStage",
     "Network",
     "Node",
     "NormalLatency",
     "ReceiveQueue",
+    "SpatialBatchingStage",
     "TrafficStats",
     "UniformLatency",
+    "build_dispatch_table",
+    "handles",
     "lan",
     "lan_profile",
     "loopback",

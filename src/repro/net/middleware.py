@@ -1,0 +1,283 @@
+"""Interception-hook middleware for nodes.
+
+A :class:`MiddlewarePipeline` sits between a node's wire and its
+dispatch table: every outbound message passes through the stages'
+``on_outbound`` hooks before it reaches the network, and every serviced
+inbound message passes through ``on_inbound`` before it is dispatched.
+Cross-cutting concerns — per-kind metrics, packet batching, fault
+injection — become opt-in pipeline stages instead of edits to the
+routing core.
+
+Onion ordering: the stage list runs outside-in.  Inbound traverses
+stages first-to-last; outbound traverses last-to-first, so the first
+stage in the list is always the one closest to the wire.  A hook
+returning ``None`` consumes the message (nothing further runs).
+
+Stages that buffer or clone traffic (batching, fault duplication)
+re-inject via ``node.network.transmit`` / ``node.dispatch`` directly,
+*below* the pipeline: no stage observes a flushed batch or a duplicate
+clone on the way out, and outbound hooks of stages outside a buffering
+stage never see the kinds it absorbs.  Per-kind *wire* truth therefore
+lives in ``network.stats``; ``KindMetricsStage`` measures the traffic
+crossing its own pipeline position.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.net.message import Message
+from repro.net.stats import Counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+#: Wire kind of an aggregated same-destination batch.
+BATCH_KIND = "net.batch"
+
+
+class MiddlewareStage:
+    """Base class for pipeline stages; default hooks pass through."""
+
+    name = "stage"
+
+    def __init__(self) -> None:
+        self._node: "Node | None" = None
+
+    @property
+    def node(self) -> "Node":
+        """The node this stage is installed on."""
+        if self._node is None:
+            raise RuntimeError(f"stage {self.name} not bound to a node")
+        return self._node
+
+    def bind(self, node: "Node") -> None:
+        """Called by :meth:`MiddlewarePipeline.use` on installation."""
+        self._node = node
+
+    def on_inbound(self, message: Message) -> Message | None:
+        """Hook a serviced inbound message; ``None`` consumes it."""
+        return message
+
+    def on_outbound(self, message: Message) -> Message | None:
+        """Hook an outbound message; ``None`` consumes it."""
+        return message
+
+    def flush(self) -> None:
+        """Force out any buffered traffic (end of run, tests)."""
+
+
+class MiddlewarePipeline:
+    """An ordered stack of :class:`MiddlewareStage` around one node."""
+
+    def __init__(self, owner: "Node") -> None:
+        self._owner = owner
+        self._stages: list[MiddlewareStage] = []
+
+    @property
+    def stages(self) -> Sequence[MiddlewareStage]:
+        """Installed stages, outermost (closest to the wire) first."""
+        return tuple(self._stages)
+
+    def __bool__(self) -> bool:
+        return bool(self._stages)
+
+    def use(self, stage: MiddlewareStage) -> MiddlewareStage:
+        """Install *stage* as the new innermost stage."""
+        stage.bind(self._owner)
+        self._stages.append(stage)
+        return stage
+
+    def stage(self, name: str) -> MiddlewareStage | None:
+        """First installed stage with the given name, if any."""
+        for stage in self._stages:
+            if stage.name == name:
+                return stage
+        return None
+
+    def process_inbound(self, message: Message) -> Message | None:
+        """Run inbound hooks wire-side first; ``None`` = consumed."""
+        current: Message | None = message
+        for stage in self._stages:
+            current = stage.on_inbound(current)
+            if current is None:
+                return None
+        return current
+
+    def process_outbound(self, message: Message) -> Message | None:
+        """Run outbound hooks dispatch-side first; ``None`` = consumed."""
+        current: Message | None = message
+        for stage in reversed(self._stages):
+            current = stage.on_outbound(current)
+            if current is None:
+                return None
+        return current
+
+    def flush(self) -> None:
+        """Flush every stage's buffered traffic."""
+        for stage in self._stages:
+            stage.flush()
+
+
+class KindMetricsStage(MiddlewareStage):
+    """Per-kind message/byte counters on both directions.
+
+    Purely observational — messages always pass through unchanged.
+    Counts what crosses this stage's pipeline position: kinds a deeper
+    stage absorbs (e.g. batched forwards) never reach its outbound
+    hook, and traffic re-injected below the pipeline (flushed batches,
+    duplicate clones) is visible only in ``network.stats``.
+    """
+
+    name = "kind-metrics"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.inbound: dict[str, Counter] = {}
+        self.outbound: dict[str, Counter] = {}
+
+    @staticmethod
+    def _count(table: dict[str, Counter], message: Message) -> None:
+        counter = table.get(message.kind)
+        if counter is None:
+            counter = table[message.kind] = Counter()
+        counter.add(message.size_bytes)
+
+    def on_inbound(self, message: Message) -> Message | None:
+        self._count(self.inbound, message)
+        return message
+
+    def on_outbound(self, message: Message) -> Message | None:
+        self._count(self.outbound, message)
+        return message
+
+
+class FaultInjectionStage(MiddlewareStage):
+    """Outbound drop/duplicate fault injection for selected kinds.
+
+    Models the lossy links tier-2 experiments need without touching the
+    router: a message may be silently dropped or transmitted twice.
+    Duplication bypasses the outer stages (the clone goes straight to
+    the wire) so a duplicate cannot itself be re-dropped.
+    """
+
+    name = "fault-injection"
+
+    def __init__(
+        self,
+        rng: random.Random,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        kinds: Iterable[str] | None = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError(f"drop_rate out of [0, 1]: {drop_rate}")
+        if not 0.0 <= duplicate_rate <= 1.0:
+            raise ValueError(f"duplicate_rate out of [0, 1]: {duplicate_rate}")
+        self._rng = rng
+        self._drop_rate = drop_rate
+        self._duplicate_rate = duplicate_rate
+        self._kinds = frozenset(kinds) if kinds is not None else None
+        self.dropped = 0
+        self.duplicated = 0
+
+    def on_outbound(self, message: Message) -> Message | None:
+        if self._kinds is not None and message.kind not in self._kinds:
+            return message
+        if self._drop_rate and self._rng.random() < self._drop_rate:
+            self.dropped += 1
+            return None
+        if self._duplicate_rate and self._rng.random() < self._duplicate_rate:
+            self.duplicated += 1
+            clone = Message(
+                src=message.src,
+                dst=message.dst,
+                kind=message.kind,
+                payload=message.payload,
+                size_bytes=message.size_bytes,
+            )
+            self.node.network.transmit(clone)
+        return message
+
+
+class SpatialBatchingStage(MiddlewareStage):
+    """Aggregate same-destination packets within a flush window.
+
+    Outbound messages of the configured kinds are buffered per
+    destination; once per *window* seconds every buffer is flushed — a
+    single buffered message goes out as-is, two or more are wrapped into
+    one :data:`BATCH_KIND` wire message whose payload is the tuple of
+    original messages.  On the receiving side the stage unwraps a batch
+    and dispatches each inner message individually, so handlers observe
+    exactly the packets they would have seen unbatched (delivery is
+    delayed by at most one window, and the wire carries fewer, larger
+    messages).
+
+    Both endpoints must install the stage (the deployment installs it on
+    every Matrix server from one config), and it should be the innermost
+    stage so control traffic skips it untouched.
+    """
+
+    name = "spatial-batching"
+
+    def __init__(
+        self,
+        window: float = 0.05,
+        kinds: Iterable[str] = ("matrix.forward",),
+        header_bytes: int = 16,
+    ) -> None:
+        super().__init__()
+        if window <= 0:
+            raise ValueError(f"batch window must be positive: {window}")
+        self._window = window
+        self._kinds = frozenset(kinds)
+        self._header_bytes = header_bytes
+        self._buffers: dict[str, list[Message]] = {}
+        self._flush_scheduled = False
+        self.buffered_total = 0
+        self.batches_sent = 0
+        self.messages_saved = 0
+        self.unbatched_received = 0
+
+    def on_outbound(self, message: Message) -> Message | None:
+        if message.kind not in self._kinds:
+            return message
+        self._buffers.setdefault(message.dst, []).append(message)
+        self.buffered_total += 1
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.node.sim.after(self._window, self._flush_tick)
+        return None
+
+    def on_inbound(self, message: Message) -> Message | None:
+        if message.kind != BATCH_KIND:
+            return message
+        for inner in message.payload:
+            self.unbatched_received += 1
+            self.node.dispatch(inner)
+        return None
+
+    def _flush_tick(self) -> None:
+        self._flush_scheduled = False
+        self.flush()
+
+    def flush(self) -> None:
+        buffers, self._buffers = self._buffers, {}
+        network = self.node.network
+        for dst, pending in buffers.items():
+            if len(pending) == 1:
+                network.transmit(pending[0])
+                continue
+            batch = Message(
+                src=self.node.name,
+                dst=dst,
+                kind=BATCH_KIND,
+                payload=tuple(pending),
+                size_bytes=self._header_bytes
+                + sum(inner.size_bytes for inner in pending),
+            )
+            network.transmit(batch)
+            self.batches_sent += 1
+            self.messages_saved += len(pending) - 1

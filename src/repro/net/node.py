@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from typing import Any, TYPE_CHECKING
+from abc import ABC
+from typing import Any, ClassVar, TYPE_CHECKING
 
+from repro.net.dispatch import build_dispatch_table, handles  # noqa: F401
 from repro.net.message import Message
+from repro.net.middleware import MiddlewarePipeline, MiddlewareStage
 from repro.net.queue import ReceiveQueue
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -15,9 +17,22 @@ if TYPE_CHECKING:  # pragma: no cover
 class Node(ABC):
     """A network endpoint with a finite-rate receive queue.
 
-    Subclasses implement :meth:`handle_message`; everything else —
-    queueing, servicing delay, traffic accounting — is provided.
+    Subclasses declare message handlers with the
+    :func:`~repro.net.dispatch.handles` decorator; a ``kind -> handler``
+    table is compiled once per class, and :meth:`dispatch` routes each
+    serviced message through it.  Everything else — queueing, servicing
+    delay, traffic accounting, the middleware pipeline — is provided.
+
+    Legacy subclasses may still override :meth:`handle_message`
+    wholesale (some test doubles do), bypassing pipeline and registry.
     """
+
+    #: kind -> method name, compiled at class-definition time.
+    _dispatch_table: ClassVar[dict[str, str]] = {}
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        cls._dispatch_table = build_dispatch_table(cls)
 
     def __init__(
         self,
@@ -32,6 +47,8 @@ class Node(ABC):
         self._queue_capacity = queue_capacity
         self._priority_kinds = priority_kinds
         self._inbox: ReceiveQueue | None = None
+        self.middleware = MiddlewarePipeline(self)
+        self.unhandled_count = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -50,6 +67,10 @@ class Node(ABC):
             capacity=self._queue_capacity,
             priority_predicate=predicate,
         )
+
+    def use(self, stage: MiddlewareStage) -> MiddlewareStage:
+        """Install a middleware stage (innermost position)."""
+        return self.middleware.use(stage)
 
     @property
     def network(self) -> "Network":
@@ -74,7 +95,13 @@ class Node(ABC):
     # Messaging
     # ------------------------------------------------------------------
     def send(self, dst: str, kind: str, payload: Any, size_bytes: int) -> Message:
-        """Send a message to node *dst* over the network."""
+        """Send a message to node *dst* over the network.
+
+        The message first runs through the middleware pipeline's
+        outbound hooks; a stage may transform it or consume it (e.g.
+        buffer it into a batch).  The constructed message is returned
+        either way.
+        """
         message = Message(
             src=self.name,
             dst=dst,
@@ -82,9 +109,30 @@ class Node(ABC):
             payload=payload,
             size_bytes=size_bytes,
         )
-        self.network.transmit(message)
+        processed = self.middleware.process_outbound(message)
+        if processed is not None:
+            self.network.transmit(processed)
         return message
 
-    @abstractmethod
     def handle_message(self, message: Message) -> None:
-        """Process one serviced message."""
+        """Process one serviced message: inbound middleware, then dispatch."""
+        processed = self.middleware.process_inbound(message)
+        if processed is not None:
+            self.dispatch(processed)
+
+    def dispatch(self, message: Message) -> None:
+        """Route *message* to the handler registered for its kind."""
+        method_name = self._dispatch_table.get(message.kind)
+        if method_name is None:
+            self.on_unhandled(message)
+            return
+        getattr(self, method_name)(message)
+
+    def on_unhandled(self, message: Message) -> None:
+        """A message no handler claims: counted, then dropped.
+
+        Unknown kinds are tolerated (a decommissioned peer's straggler
+        traffic may reference protocol the receiver never speaks), but
+        the count is kept so tests can assert nothing important leaked.
+        """
+        self.unhandled_count += 1

@@ -21,8 +21,8 @@ def test_register_pushes_table_to_server():
 def test_single_server_table_has_no_overlap():
     sim, network, deployment, ms, gs = bootstrapped()
     # With one server, every interior point has an empty set.
-    assert ms._table is not None
-    assert ms._table.cells == []
+    assert ms.default_table is not None
+    assert ms.default_table.cells == []
 
 
 def test_grid_bootstrap_creates_consistent_partitions():
@@ -40,9 +40,9 @@ def test_grid_tables_include_directory():
     pairs = deployment.bootstrap_grid(2, 1)
     sim.run(until=1.0)
     for ms, gs in pairs:
-        assert set(ms._directory) == {"gs.1", "gs.2"}
-        assert set(ms._partitions) == {"ms.1", "ms.2"}
-        assert ms._server_map == {"ms.1": "gs.1", "ms.2": "gs.2"}
+        assert set(ms.directory) == {"gs.1", "gs.2"}
+        assert set(ms.known_partitions) == {"ms.1", "ms.2"}
+        assert ms.server_map == {"ms.1": "gs.1", "ms.2": "gs.2"}
 
 
 def test_set_range_forwarded_to_game_server():

@@ -42,9 +42,9 @@ def test_extra_radii_produce_distinct_tables():
     pairs = deployment.bootstrap_grid(2, 1)
     sim.run(until=1.0)
     ms = pairs[0][0]
-    assert set(ms._tables) == {50.0, 150.0}
+    assert set(ms.overlap_tables) == {50.0, 150.0}
     # The wide-radius table covers a wider strip.
-    assert ms._tables[150.0].overlap_area() > ms._tables[50.0].overlap_area()
+    assert ms.overlap_tables[150.0].overlap_area() > ms.overlap_tables[50.0].overlap_area()
 
 
 def test_packet_with_exception_radius_uses_wide_table():
@@ -114,7 +114,7 @@ def test_failover_promotes_standby_and_servers_follow():
     assert standby.promoted
     # Servers switched coordinator and received fresh tables from it.
     for ms, _ in pairs:
-        assert ms._coordinator == standby.name
+        assert ms.coordinator == standby.name
         assert ms.table_version > version_before
 
 

@@ -49,9 +49,9 @@ def test_both_servers_get_overlap_tables_after_split():
     drive_overload(sim, gs)
     sim.run(until=20.0)
     child = deployment.matrix_servers["ms.2"]
-    assert ms._table is not None and child._table is not None
-    assert ms._table.cells, "parent must now have a boundary strip"
-    assert child._table.cells
+    assert ms.default_table is not None and child.default_table is not None
+    assert ms.default_table.cells, "parent must now have a boundary strip"
+    assert child.default_table.cells
 
 
 def test_game_server_told_of_new_range_after_split():
@@ -216,5 +216,5 @@ def test_gossip_reaches_parent():
     child_gs = deployment.game_servers["gs.2"]
     sim.at(20.0, lambda: child_gs.report(42))
     sim.run(until=22.0)
-    assert ms._child_loads["ms.2"].client_count == 42
-    assert ms._child_loads["ms.2"].has_children is False
+    assert ms.child_loads["ms.2"].client_count == 42
+    assert ms.child_loads["ms.2"].has_children is False

@@ -235,3 +235,65 @@ def test_property_asymmetric_split_consistent(radius, split):
             continue
         got = index_map["L"].lookup(Vec2(px, 50.0))
         assert got == frozenset({"R"})
+
+
+# ----------------------------------------------------------------------
+# PartitionIndex: indexed point -> owner lookup
+# ----------------------------------------------------------------------
+def test_partition_index_matches_linear_scan():
+    from repro.geometry import PartitionIndex
+
+    parts = {f"p{i}": tile for i, tile in enumerate(tile_world(WORLD, 4, 3))}
+    index = PartitionIndex(parts)
+    assert len(index) == 12
+    for x in range(0, 100, 7):
+        for y in range(0, 100, 7):
+            point = Vec2(float(x) + 0.5, float(y) + 0.5)
+            linear = next(
+                (pid for pid, rect in parts.items() if rect.contains(point)),
+                None,
+            )
+            assert index.lookup(point) == linear
+
+
+def test_partition_index_boundary_and_outside_points():
+    from repro.geometry import PartitionIndex
+
+    left, right = WORLD.split_vertical(40.0)
+    index = PartitionIndex({"L": left, "R": right})
+    # Half-open semantics: the shared edge belongs to the right side.
+    assert index.lookup(Vec2(40.0, 50.0)) == "R"
+    assert index.lookup(Vec2(39.999, 50.0)) == "L"
+    # The world's max edges are outside every half-open partition.
+    assert index.lookup(Vec2(100.0, 50.0)) is None
+    assert index.lookup(Vec2(-1.0, 50.0)) is None
+
+
+def test_partition_index_empty():
+    from repro.geometry import PartitionIndex
+
+    index = PartitionIndex({})
+    assert index.lookup(Vec2(10.0, 10.0)) is None
+    assert len(index) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    columns=st.integers(min_value=1, max_value=5),
+    rows=st.integers(min_value=1, max_value=5),
+    x=st.floats(min_value=0.0, max_value=99.99),
+    y=st.floats(min_value=0.0, max_value=99.99),
+)
+def test_property_partition_index_exact_on_grids(columns, rows, x, y):
+    from repro.geometry import PartitionIndex
+
+    parts = {
+        f"p{i}": tile
+        for i, tile in enumerate(tile_world(WORLD, columns, rows))
+    }
+    index = PartitionIndex(parts)
+    point = Vec2(x, y)
+    linear = next(
+        (pid for pid, rect in parts.items() if rect.contains(point)), None
+    )
+    assert index.lookup(point) == linear

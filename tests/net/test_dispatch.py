@@ -1,0 +1,136 @@
+"""Unit tests for the declarative dispatch registry."""
+
+import pytest
+
+from repro.net.dispatch import DispatchCollisionError, build_dispatch_table, handles
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.sim.kernel import Simulator
+
+
+def make(kind: str, payload=None) -> Message:
+    return Message(src="a", dst="b", kind=kind, payload=payload, size_bytes=8)
+
+
+class Base(Node):
+    def __init__(self, name="base"):
+        super().__init__(name)
+        self.log: list[str] = []
+
+    @handles("ping")
+    def _on_ping(self, message):
+        self.log.append("base-ping")
+
+    @handles("multi.a", "multi.b")
+    def _on_multi(self, message):
+        self.log.append(f"multi:{message.kind}")
+
+
+def attached(node: Node) -> Node:
+    network = Network(Simulator())
+    network.add_node(node)
+    return node
+
+
+def test_registered_handler_dispatches():
+    node = attached(Base())
+    node.handle_message(make("ping"))
+    assert node.log == ["base-ping"]
+    assert node.unhandled_count == 0
+
+
+def test_one_handler_many_kinds():
+    node = attached(Base())
+    node.handle_message(make("multi.a"))
+    node.handle_message(make("multi.b"))
+    assert node.log == ["multi:multi.a", "multi:multi.b"]
+
+
+def test_unknown_kind_is_counted_and_dropped():
+    node = attached(Base())
+    node.handle_message(make("mystery.kind"))
+    assert node.log == []
+    assert node.unhandled_count == 1
+
+
+def test_subclass_rebinds_kind_to_new_method():
+    class Sub(Base):
+        @handles("ping")
+        def _on_ping_v2(self, message):
+            self.log.append("sub-ping")
+
+    node = attached(Sub())
+    node.handle_message(make("ping"))
+    assert node.log == ["sub-ping"]
+    # The base's other registrations are inherited untouched.
+    node.handle_message(make("multi.a"))
+    assert node.log[-1] == "multi:multi.a"
+
+
+def test_subclass_method_override_without_redecorating():
+    class Sub(Base):
+        def _on_ping(self, message):  # same name, no @handles needed
+            self.log.append("overridden")
+
+    node = attached(Sub())
+    node.handle_message(make("ping"))
+    assert node.log == ["overridden"]
+
+
+def test_same_class_collision_rejected_at_definition():
+    with pytest.raises(DispatchCollisionError):
+
+        class Colliding(Node):
+            @handles("dup")
+            def _a(self, message):
+                pass
+
+            @handles("dup")
+            def _b(self, message):
+                pass
+
+
+def test_redecorating_same_method_is_not_a_collision():
+    class Stacked(Node):
+        @handles("x")
+        @handles("y")
+        def _on_both(self, message):
+            pass
+
+    assert Stacked._dispatch_table["x"] == "_on_both"
+    assert Stacked._dispatch_table["y"] == "_on_both"
+
+
+def test_handles_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        handles()
+    with pytest.raises(ValueError):
+        handles("")
+
+
+def test_build_dispatch_table_walks_mro():
+    class Sub(Base):
+        @handles("extra")
+        def _on_extra(self, message):
+            pass
+
+    table = build_dispatch_table(Sub)
+    assert table["ping"] == "_on_ping"
+    assert table["extra"] == "_on_extra"
+    assert table["multi.a"] == "_on_multi"
+
+
+def test_legacy_handle_message_override_still_works():
+    class Legacy(Node):
+        def __init__(self):
+            super().__init__("legacy")
+            self.seen = []
+
+        def handle_message(self, message):
+            self.seen.append(message.kind)
+
+    node = attached(Legacy())
+    node.handle_message(make("anything"))
+    assert node.seen == ["anything"]
+    assert node.unhandled_count == 0
