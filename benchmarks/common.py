@@ -33,9 +33,8 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 
 def scaled_policy(scale: float = SCALE) -> LoadPolicyConfig:
     """The paper's 300/150 thresholds, scaled."""
-    return LoadPolicyConfig(
-        overload_clients=max(6, int(300 * scale)),
-        underload_clients=max(3, int(150 * scale)),
+    return LoadPolicyConfig().scaled(
+        scale, floor_overload=6, floor_underload=3
     )
 
 

@@ -41,7 +41,7 @@ from repro.core import (
     ServerPool,
 )
 from repro.geometry import Rect, Vec2
-from repro.harness import MatrixExperiment, run_fig2
+from repro.harness import MatrixExperiment, run_fig2, run_scenario
 
 __all__ = [
     "MatrixConfig",
@@ -55,4 +55,5 @@ __all__ = [
     "Vec2",
     "__version__",
     "run_fig2",
+    "run_scenario",
 ]

@@ -94,7 +94,8 @@ class StaticZoneRouter(Node):
         point = packet.route_point()
         if not self._table.partition.contains(point):
             return  # roaming client mid-handoff; its new zone handles it
-        for owner in self._table.lookup(point):
+        # Sorted for cross-process determinism (see SpatialRouter).
+        for owner in sorted(self._table.lookup(point)):
             router = self._router_of.get(owner)
             if router is not None:
                 self.send(
@@ -216,6 +217,104 @@ class StaticDeployment:
         )
 
 
+class StaticExperiment:
+    """A ready-to-run static deployment with workload hooks.
+
+    The baseline counterpart of
+    :class:`~repro.harness.experiment.MatrixExperiment`: same fleet,
+    same ``Locator`` contract, same sampling — only the middleware
+    behind the game servers differs.  The unified scenario runner
+    (``repro.harness.runner``) installs any declarative scenario on
+    :attr:`fleet` and calls :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        profile: GameProfile,
+        seed: int = 0,
+        columns: int = 2,
+        rows: int = 1,
+        queue_capacity: int | None = 20000,
+    ) -> None:
+        self.profile = profile
+        self.rng = RngRegistry(seed=seed)
+        self.sim = Simulator()
+        self.network = Network(self.sim, rng=self.rng.stream("network"))
+        self.deployment = StaticDeployment(
+            self.sim,
+            self.network,
+            profile,
+            columns=columns,
+            rows=rows,
+            queue_capacity=queue_capacity,
+        )
+        self.fleet = ClientFleet(
+            self.sim,
+            self.network,
+            profile,
+            locator=self.deployment.locate_game_server,
+            rng=self.rng.stream("fleet"),
+        )
+
+    def run(self, until: float) -> StaticResult:
+        """Run the installed workload and collect the result.
+
+        The sampler is created here — after every workload event is
+        scheduled — so same-timestamp samples observe spawns exactly as
+        they always have (event order is part of determinism).
+        """
+
+        def probes():
+            out = {}
+            for gs_name, handle in self.deployment.game_servers.items():
+                out[f"clients/{gs_name}"] = lambda h=handle: h.client_count
+                out[f"queue/{gs_name}"] = lambda h=handle: h.inbox.length
+            return out
+
+        sampler = Sampler(self.sim, 1.0, probes)
+        self.sim.run(until=until)
+
+        clients = {
+            key.removeprefix("clients/"): series
+            for key, series in sampler.series.items()
+            if key.startswith("clients/")
+        }
+        queues = {
+            key.removeprefix("queue/"): series
+            for key, series in sampler.series.items()
+            if key.startswith("queue/")
+        }
+        return StaticResult(
+            profile_name=self.profile.name,
+            duration=until,
+            clients_per_server=clients,
+            queue_per_server=queues,
+            dropped_packets=self.deployment.dropped_packets(),
+            action_latencies=self.fleet.all_action_latencies(),
+            switch_latencies=self.fleet.all_switch_latencies(),
+        )
+
+
+def run_static_scenario(
+    profile: GameProfile,
+    scenario,
+    seed: int = 0,
+    columns: int = 2,
+    rows: int = 1,
+    queue_capacity: int | None = 20000,
+) -> StaticResult:
+    """Run any declarative scenario against a static grid."""
+    experiment = StaticExperiment(
+        profile,
+        seed=seed,
+        columns=columns,
+        rows=rows,
+        queue_capacity=queue_capacity,
+    )
+    scenario.install(experiment.fleet, profile)
+    return experiment.run(until=scenario.duration)
+
+
 def run_static_hotspot(
     profile: GameProfile,
     schedule,
@@ -225,54 +324,13 @@ def run_static_hotspot(
     queue_capacity: int | None = 20000,
 ) -> StaticResult:
     """Run the Fig 2 workload against a static grid (the T-static rows)."""
-    from repro.harness.fig2 import Fig2Schedule  # local: avoid cycle
+    from repro.harness.fig2 import fig2_scenario  # local: avoid cycle
 
-    assert isinstance(schedule, Fig2Schedule)
-    rng = RngRegistry(seed=seed)
-    sim = Simulator()
-    network = Network(sim, rng=rng.stream("network"))
-    deployment = StaticDeployment(
-        sim, network, profile, columns=columns, rows=rows,
-        queue_capacity=queue_capacity,
-    )
-    fleet = ClientFleet(
-        sim,
-        network,
+    return run_static_scenario(
         profile,
-        locator=deployment.locate_game_server,
-        rng=rng.stream("fleet"),
-    )
-
-    from repro.harness.fig2 import install_fleet_workload
-
-    install_fleet_workload(fleet, profile, schedule)
-
-    def probes():
-        out = {}
-        for gs_name, handle in deployment.game_servers.items():
-            out[f"clients/{gs_name}"] = lambda h=handle: h.client_count
-            out[f"queue/{gs_name}"] = lambda h=handle: h.inbox.length
-        return out
-
-    sampler = Sampler(sim, 1.0, probes)
-    sim.run(until=schedule.duration)
-
-    clients = {
-        key.removeprefix("clients/"): series
-        for key, series in sampler.series.items()
-        if key.startswith("clients/")
-    }
-    queues = {
-        key.removeprefix("queue/"): series
-        for key, series in sampler.series.items()
-        if key.startswith("queue/")
-    }
-    return StaticResult(
-        profile_name=profile.name,
-        duration=schedule.duration,
-        clients_per_server=clients,
-        queue_per_server=queues,
-        dropped_packets=deployment.dropped_packets(),
-        action_latencies=fleet.all_action_latencies(),
-        switch_latencies=fleet.all_switch_latencies(),
+        fig2_scenario(schedule),
+        seed=seed,
+        columns=columns,
+        rows=rows,
+        queue_capacity=queue_capacity,
     )

@@ -1,0 +1,163 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``list-scenarios`` — the registered scenario catalog.
+* ``list-mobility`` — the registered mobility models.
+* ``run <scenario>`` — run one scenario on a backend and print a
+  summary (``--scale`` shrinks the population *and* the policy
+  thresholds/server capacity together, preserving the dynamics).
+* ``sweep`` — run every registered scenario back to back and print a
+  comparison table (the CLI face of the scenario-sweep benchmark).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.analysis.stats import percentile
+from repro.core.config import LoadPolicyConfig
+from repro.games.profile import profile_by_name
+from repro.harness.compare import scaled_profile
+from repro.harness.runner import backend_names, run_scenario
+from repro.harness.sweep import format_sweep_table, sweep_scenarios
+from repro.workload.mobility import list_mobility_models
+from repro.workload.scenarios import build_scenario, scenario_names
+
+
+def _scaled_setup(game: str, scale: float):
+    """Profile + policy scaled coherently with the population."""
+    profile = profile_by_name(game)
+    if scale != 1.0:
+        profile = scaled_profile(profile, scale)
+    return profile, LoadPolicyConfig().scaled(scale)
+
+
+def _print_scenarios() -> None:
+    names = scenario_names()
+    width = max(len(name) for name in names)
+    print(f"{len(names)} registered scenarios:\n")
+    for name in names:
+        scn = build_scenario(name)
+        phases = ", ".join(type(p).__name__ for p in scn.phases)
+        print(f"  {name:<{width}}  {scn.game:<9} {scn.duration:>6.0f}s  "
+              f"[{phases}]")
+        print(f"  {'':<{width}}  {scn.description}")
+        print()
+
+
+def _print_mobility() -> None:
+    names = list_mobility_models()
+    print(f"{len(names)} registered mobility models:")
+    for name in names:
+        print(f"  {name}")
+
+
+def _summarize_run(outcome, wall: float) -> None:
+    result = outcome.result
+    print(f"scenario : {outcome.scenario.name}")
+    print(f"backend  : {outcome.backend}")
+    print(f"duration : {outcome.scenario.duration:.0f}s simulated "
+          f"({wall:.1f}s wall)")
+    latencies = result.action_latencies
+    p50 = percentile(latencies, 50) if latencies else 0.0
+    p99 = percentile(latencies, 99) if latencies else 0.0
+    if outcome.backend == "matrix":
+        print(f"servers  : peak {result.peak_servers_in_use}, "
+              f"final {result.final_server_count():.0f}, "
+              f"splits {result.splits_completed}, "
+              f"reclaims {result.reclaims_completed}")
+        print(f"clients  : peak {result.total_clients.max():.0f}")
+        print(f"events   : {result.events_processed}")
+    else:
+        servers = len(outcome.experiment.deployment.game_servers)
+        print(f"servers  : {servers} (fixed)")
+        print(f"dropped  : {result.dropped_packets} packets")
+    print(f"queue    : peak {result.max_queue():.0f}")
+    print(f"latency  : p50 {p50 * 1000:.1f}ms, p99 {p99 * 1000:.1f}ms "
+          f"({len(latencies)} actions)")
+
+
+def _cmd_run(args) -> int:
+    scenario = build_scenario(args.scenario)
+    profile, policy = _scaled_setup(scenario.game, args.scale)
+    options = {"seed": args.seed}
+    if args.backend == "matrix":
+        options["policy"] = policy
+    started = time.perf_counter()
+    outcome = run_scenario(
+        scenario,
+        backend=args.backend,
+        profile=profile,
+        scale=args.scale,
+        preview=args.duration,
+        **options,
+    )
+    _summarize_run(outcome, time.perf_counter() - started)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    rows = sweep_scenarios(
+        args.scale,
+        seed=args.seed,
+        preview=args.duration,
+        on_result=lambda row: print(
+            f"ran {row.scenario} ({row.wall_seconds:.1f}s)"
+        ),
+    )
+    print()
+    print(f"scenario sweep (scale={args.scale}, seed={args.seed}):")
+    print(format_sweep_table(rows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Matrix reproduction: declarative scenario runner.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-scenarios", help="show the scenario catalog")
+    sub.add_parser("list-mobility", help="show registered mobility models")
+
+    run_parser = sub.add_parser("run", help="run one registered scenario")
+    run_parser.add_argument("scenario", help="registered scenario name")
+    run_parser.add_argument(
+        "--backend", default="matrix", choices=backend_names()
+    )
+    run_parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="population/policy/capacity scale factor (default 1.0)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="truncate the scenario to this many simulated seconds",
+    )
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run every registered scenario and tabulate"
+    )
+    sweep_parser.add_argument("--scale", type=float, default=0.1)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument("--duration", type=float, default=None)
+
+    args = parser.parse_args(argv)
+    if args.command == "list-scenarios":
+        _print_scenarios()
+        return 0
+    if args.command == "list-mobility":
+        _print_mobility()
+        return 0
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

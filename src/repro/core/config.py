@@ -42,6 +42,33 @@ class LoadPolicyConfig:
     #: threshold, so a reclaim can never immediately trigger a re-split.
     reclaim_combined_factor: float = 0.6
 
+    def scaled(
+        self,
+        factor: float,
+        floor_overload: int = 4,
+        floor_underload: int = 2,
+    ) -> "LoadPolicyConfig":
+        """Thresholds scaled for a population scaled by *factor*.
+
+        Scaling population and thresholds by the same factor preserves
+        the split/reclaim dynamics while cutting the event count by
+        ~1/factor; the floors keep tiny test populations from
+        degenerating to a 1-client threshold.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive: {factor}")
+        from dataclasses import replace
+
+        return replace(
+            self,
+            overload_clients=max(
+                floor_overload, int(self.overload_clients * factor)
+            ),
+            underload_clients=max(
+                floor_underload, int(self.underload_clients * factor)
+            ),
+        )
+
     def __post_init__(self) -> None:
         if self.underload_clients >= self.overload_clients:
             raise ValueError(

@@ -50,7 +50,11 @@ class SpatialRouter:
             owner = ctx.owner_of(packet.dest)
             if owner is not None and owner != ctx.name:
                 targets.add(owner)
-        for peer in targets:
+        # Sorted iteration: consistency sets are hash-ordered sets of
+        # server names, and send order decides which network-latency
+        # draw each forward gets.  Sorting makes figure outputs
+        # identical across processes regardless of PYTHONHASHSEED.
+        for peer in sorted(targets):
             ctx.send(peer, "matrix.forward", packet, size_bytes=message.size_bytes)
             ctx.stats.forwarded_packets += 1
 

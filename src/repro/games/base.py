@@ -391,6 +391,25 @@ class GameClient(Node):
         return self._position
 
     @property
+    def mobility(self) -> MobilityModel:
+        """The mobility model steering this client."""
+        return self._mobility
+
+    def retarget(self, target: Vec2) -> bool:
+        """Ask the mobility model to head toward *target*.
+
+        Part of the public mobility protocol: models that support goal
+        changes expose ``retarget(Vec2)`` (hotspot loiterers, flocks,
+        commuter circuits, pursuers); for models without one this is a
+        no-op.  Returns whether the model accepted the retarget.
+        """
+        retarget = getattr(self._mobility, "retarget", None)
+        if retarget is None:
+            return False
+        retarget(target)
+        return True
+
+    @property
     def server(self) -> str | None:
         """The game server currently serving this client."""
         return self._server

@@ -14,10 +14,17 @@ from repro.harness.experiment import (
 )
 from repro.harness.fig2 import (
     Fig2Schedule,
+    fig2_scenario,
     install_fig2_workload,
     install_fleet_workload,
     mini_fig2_policy,
     run_fig2,
+)
+from repro.harness.runner import (
+    ScenarioOutcome,
+    backend_names,
+    run_scenario,
+    scenario_backend,
 )
 from repro.harness.micro import (
     BandwidthPoint,
@@ -41,13 +48,18 @@ __all__ = [
     "GameComparison",
     "MatrixExperiment",
     "SCALED_PERCEPTION_THRESHOLD",
+    "ScenarioOutcome",
     "SystemOutcome",
     "TransparencyReport",
+    "backend_names",
     "bandwidth_overlap_correlation",
     "compare_all_games",
     "compare_game",
     "coordinator_overhead",
+    "fig2_scenario",
     "format_comparison_table",
+    "run_scenario",
+    "scenario_backend",
     "install_fig2_workload",
     "install_fleet_workload",
     "matrix_config_for",

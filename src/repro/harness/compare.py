@@ -17,11 +17,10 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.analysis.stats import percentile
-from repro.baselines.static import run_static_hotspot
 from repro.core.config import LoadPolicyConfig
 from repro.games.profile import GameProfile, profile_by_name
-from repro.harness.experiment import MatrixExperiment
-from repro.harness.fig2 import Fig2Schedule, install_fig2_workload
+from repro.harness.fig2 import Fig2Schedule, fig2_scenario
+from repro.harness.runner import run_scenario
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,9 +107,10 @@ def compare_game(
             or p99 > latency_bound
         )
 
-    experiment = MatrixExperiment(profile, policy=policy, seed=seed)
-    install_fig2_workload(experiment, schedule)
-    matrix_result = experiment.run(until=schedule.duration)
+    scenario = fig2_scenario(schedule)
+    matrix_result = run_scenario(
+        scenario, backend="matrix", profile=profile, policy=policy, seed=seed
+    ).result
     matrix_p99 = _p99(matrix_result.action_latencies)
     matrix_outcome = SystemOutcome(
         system="matrix",
@@ -121,14 +121,15 @@ def compare_game(
         failed=verdict(matrix_result.max_queue(), 0, matrix_p99),
     )
 
-    static_result = run_static_hotspot(
-        profile,
-        schedule,
+    static_result = run_scenario(
+        scenario,
+        backend="static",
+        profile=profile,
         seed=seed,
         columns=static_columns,
         rows=static_rows,
         queue_capacity=queue_capacity,
-    )
+    ).result
     static_p99 = _p99(static_result.action_latencies)
     static_outcome = SystemOutcome(
         system="static",

@@ -10,6 +10,11 @@ The paper's timeline, reproduced 1:1:
 * at t≈170 s the hotspot reappears at a *different* map position for
   ~50 s, then drains the same way.
 
+The timeline is expressed as a declarative scenario (registered as
+``fig2-hotspot``) and executed by the unified runner, so the same spec
+drives Matrix and every baseline.  :class:`Fig2Schedule` remains the
+paper-parameter knob set; :func:`fig2_scenario` translates it.
+
 Figure 2a is ``result.clients_per_server``; Figure 2b is
 ``result.queue_per_server``.  Matrix's expected reaction (splits up to
 ~4 servers, then reclamations) is asserted by the integration tests
@@ -22,8 +27,16 @@ from dataclasses import dataclass
 
 from repro.core.config import LoadPolicyConfig
 from repro.games.profile import GameProfile, bzflag_profile
-from repro.geometry import Vec2
-from repro.harness.experiment import ExperimentResult, MatrixExperiment
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runner import run_scenario
+from repro.workload.scenarios import (
+    ArrivalWave,
+    Departure,
+    HotspotWave,
+    MapPoint,
+    Scenario,
+    scenario,
+)
 
 
 @dataclass(slots=True)
@@ -71,8 +84,57 @@ class Fig2Schedule:
         )
 
 
+def fig2_scenario(schedule: Fig2Schedule | None = None) -> Scenario:
+    """The Fig 2 timeline as a declarative scenario."""
+    s = schedule or Fig2Schedule()
+    return Scenario(
+        name="fig2-hotspot",
+        description=(
+            "The paper's §4.1 run: a 600-client hotspot at t=10, "
+            "batched departures from t=85, a second hotspot elsewhere "
+            "at t=170, departures again."
+        ),
+        game="bzflag",
+        duration=s.duration,
+        phases=(
+            ArrivalWave(count=s.background_clients, at=0.0),
+            HotspotWave(
+                count=s.hotspot_clients,
+                center=MapPoint(s.hotspot1_center_u, s.hotspot1_center_v),
+                at=s.hotspot1_at,
+                group="hotspot-1",
+                spread_fraction=s.spread_fraction,
+            ),
+            Departure(
+                group="hotspot-1",
+                batch=s.departure_batch,
+                start=s.departures_start,
+                interval=s.departure_interval,
+            ),
+            HotspotWave(
+                count=s.hotspot_clients,
+                center=MapPoint(s.hotspot2_center_u, s.hotspot2_center_v),
+                at=s.hotspot2_at,
+                group="hotspot-2",
+                spread_fraction=s.spread_fraction,
+            ),
+            Departure(
+                group="hotspot-2",
+                batch=s.departure_batch,
+                start=s.departures2_start,
+                interval=s.departure_interval,
+            ),
+        ),
+    )
+
+
+@scenario("fig2-hotspot")
+def _fig2_hotspot() -> Scenario:
+    return fig2_scenario()
+
+
 def install_fig2_workload(
-    experiment: MatrixExperiment, schedule: Fig2Schedule
+    experiment, schedule: Fig2Schedule
 ) -> None:
     """Register the Fig 2 arrival/departure waves on *experiment*."""
     install_fleet_workload(experiment.fleet, experiment.profile, schedule)
@@ -81,46 +143,7 @@ def install_fig2_workload(
 def install_fleet_workload(fleet, profile, schedule: Fig2Schedule) -> None:
     """Register the Fig 2 waves on a bare fleet (works for any backend:
     the same workload drives Matrix and the static baseline)."""
-    world = profile.world
-    spread = profile.visibility_radius * schedule.spread_fraction
-
-    fleet.spawn_background(schedule.background_clients, at=0.0)
-
-    center1 = Vec2(
-        world.xmin + world.width * schedule.hotspot1_center_u,
-        world.ymin + world.height * schedule.hotspot1_center_v,
-    )
-    fleet.spawn_hotspot(
-        schedule.hotspot_clients,
-        center1,
-        spread,
-        at=schedule.hotspot1_at,
-        group="hotspot-1",
-    )
-    fleet.depart_group(
-        "hotspot-1",
-        batch_size=schedule.departure_batch,
-        start=schedule.departures_start,
-        interval=schedule.departure_interval,
-    )
-
-    center2 = Vec2(
-        world.xmin + world.width * schedule.hotspot2_center_u,
-        world.ymin + world.height * schedule.hotspot2_center_v,
-    )
-    fleet.spawn_hotspot(
-        schedule.hotspot_clients,
-        center2,
-        spread,
-        at=schedule.hotspot2_at,
-        group="hotspot-2",
-    )
-    fleet.depart_group(
-        "hotspot-2",
-        batch_size=schedule.departure_batch,
-        start=schedule.departures2_start,
-        interval=schedule.departure_interval,
-    )
+    fig2_scenario(schedule).install(fleet, profile)
 
 
 def run_fig2(
@@ -131,13 +154,15 @@ def run_fig2(
     pool_capacity: int = 16,
 ) -> ExperimentResult:
     """Run the full Figure 2 experiment and return its result."""
-    profile = profile or bzflag_profile()
-    schedule = schedule or Fig2Schedule()
-    experiment = MatrixExperiment(
-        profile, policy=policy, seed=seed, pool_capacity=pool_capacity
+    outcome = run_scenario(
+        fig2_scenario(schedule),
+        backend="matrix",
+        profile=profile or bzflag_profile(),
+        policy=policy,
+        seed=seed,
+        pool_capacity=pool_capacity,
     )
-    install_fig2_workload(experiment, schedule)
-    return experiment.run(until=schedule.duration)
+    return outcome.result
 
 
 def mini_fig2_policy(scale: float = 0.1) -> LoadPolicyConfig:
@@ -147,7 +172,4 @@ def mini_fig2_policy(scale: float = 0.1) -> LoadPolicyConfig:
     factor preserves the split/reclaim dynamics while cutting the event
     count by ~1/scale.
     """
-    return LoadPolicyConfig(
-        overload_clients=max(4, int(300 * scale)),
-        underload_clients=max(2, int(150 * scale)),
-    )
+    return LoadPolicyConfig().scaled(scale)

@@ -16,7 +16,18 @@ from dataclasses import dataclass
 from repro.analysis.stats import Summary, pearson, summarize
 from repro.games.profile import GameProfile
 from repro.geometry import compute_overlap_map, metric_by_name
-from repro.harness.experiment import ExperimentResult, MatrixExperiment
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runner import ScenarioOutcome, run_scenario
+from repro.workload.scenarios import ArrivalWave, build_scenario
+
+
+def _roam(clients: int, duration: float) -> "Scenario":
+    """The registered uniform-roam scenario, resized for one measurement."""
+    return dataclasses.replace(
+        build_scenario("uniform-roam"),
+        phases=(ArrivalWave(count=clients),),
+        duration=duration,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -30,14 +41,14 @@ def measure_switching_latency(
 ) -> Summary:
     """Switch-latency distribution of border-crossing clients.
 
-    A 2-partition grid with random-waypoint clients: every border
+    The ``uniform-roam`` scenario on a 2-partition grid: every border
     crossing triggers the full Matrix handoff (switch directive → hello
     → welcome over WAN).  Returns the latency summary.
     """
-    experiment = MatrixExperiment(profile, seed=seed, grid=(2, 1))
-    experiment.fleet.spawn_background(clients, at=0.0)
-    experiment.sim.run(until=duration)
-    latencies = experiment.fleet.all_switch_latencies()
+    outcome = run_scenario(
+        _roam(clients, duration), profile=profile, seed=seed
+    )
+    latencies = outcome.result.switch_latencies
     if not latencies:
         raise RuntimeError(
             "no server switches observed; increase clients or duration"
@@ -75,9 +86,10 @@ def measure_bandwidth_vs_overlap(
     points: list[BandwidthPoint] = []
     for radius in radii:
         swept = dataclasses.replace(profile, visibility_radius=radius)
-        experiment = MatrixExperiment(swept, seed=seed, grid=(2, 1))
-        experiment.fleet.spawn_background(clients, at=0.0)
-        experiment.sim.run(until=duration)
+        outcome: ScenarioOutcome = run_scenario(
+            _roam(clients, duration), profile=swept, seed=seed
+        )
+        experiment = outcome.experiment
         traffic = experiment.network.stats
         metric = metric_by_name(swept.metric_name, world=swept.world)
         partitions = {

@@ -1,0 +1,149 @@
+"""The unified scenario runner: one entry point for every backend.
+
+``run_scenario`` pairs a declarative
+:class:`~repro.workload.scenarios.spec.Scenario` with a *backend* — the
+Matrix deployment or a baseline — and returns a
+:class:`ScenarioOutcome`.  Backends register with ``@scenario_backend``
+and differ only in what they stand up behind the fleet's ``Locator``;
+the workload itself is installed identically, which is what makes
+cross-system comparisons (T-static) apples-to-apples.
+
+This is the execution half of the scenario subsystem; the declarative
+half lives in :mod:`repro.workload.scenarios`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.config import LoadPolicyConfig, MiddlewareConfig
+from repro.games.profile import GameProfile, profile_by_name
+from repro.harness.experiment import ExperimentResult, MatrixExperiment
+from repro.workload.scenarios import Scenario, build_scenario
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one scenario run produced.
+
+    ``result`` is the backend's result object (ExperimentResult for
+    Matrix, StaticResult for the static baseline); ``experiment`` is
+    the live experiment for deeper inspection (deployment topology,
+    fleet groups, raw network stats).
+    """
+
+    scenario: Scenario
+    backend: str
+    result: Any
+    experiment: Any
+
+
+#: backend name -> runner(scenario, profile, **options) -> (result, experiment)
+_BACKENDS: dict[str, Callable[..., tuple[Any, Any]]] = {}
+
+
+def scenario_backend(name: str) -> Callable:
+    """Register a backend runner under *name* (decorator)."""
+
+    def decorate(runner: Callable[..., tuple[Any, Any]]):
+        if name in _BACKENDS:
+            raise ValueError(f"backend already registered: {name!r}")
+        _BACKENDS[name] = runner
+        return runner
+
+    return decorate
+
+
+def backend_names() -> list[str]:
+    """All registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+@scenario_backend("matrix")
+def _run_matrix(
+    scenario: Scenario,
+    profile: GameProfile,
+    *,
+    policy: LoadPolicyConfig | None = None,
+    middleware: MiddlewareConfig | None = None,
+    seed: int = 0,
+    pool_capacity: int = 16,
+    sample_period: float = 1.0,
+) -> tuple[ExperimentResult, MatrixExperiment]:
+    experiment = MatrixExperiment(
+        profile,
+        policy=policy,
+        middleware=middleware,
+        seed=seed,
+        pool_capacity=pool_capacity,
+        sample_period=sample_period,
+        grid=scenario.grid,
+    )
+    scenario.install(experiment.fleet, profile)
+    return experiment.run(until=scenario.duration), experiment
+
+
+@scenario_backend("static")
+def _run_static(
+    scenario: Scenario,
+    profile: GameProfile,
+    *,
+    seed: int = 0,
+    columns: int = 2,
+    rows: int = 1,
+    queue_capacity: int | None = 20000,
+):
+    from repro.baselines.static import StaticExperiment  # local: no cycle
+
+    if scenario.grid is not None:
+        columns, rows = scenario.grid
+    experiment = StaticExperiment(
+        profile,
+        seed=seed,
+        columns=columns,
+        rows=rows,
+        queue_capacity=queue_capacity,
+    )
+    scenario.install(experiment.fleet, profile)
+    return experiment.run(until=scenario.duration), experiment
+
+
+def run_scenario(
+    scenario: Scenario | str,
+    backend: str = "matrix",
+    profile: GameProfile | None = None,
+    scale: float = 1.0,
+    preview: float | None = None,
+    **options,
+) -> ScenarioOutcome:
+    """Run *scenario* (an instance or a registered name) on *backend*.
+
+    ``scale`` shrinks the population (phase counts only — timing is
+    preserved) and ``preview`` truncates the duration, both conveniences
+    for smoke runs; callers wanting scaled *dynamics* must also pass a
+    scaled ``policy``/profile (see ``LoadPolicyConfig.scaled`` and
+    ``repro.harness.compare.scaled_profile``).  Remaining keyword
+    options go to the backend runner verbatim.
+    """
+    if isinstance(scenario, str):
+        scenario = build_scenario(scenario)
+    if scale != 1.0:
+        scenario = scenario.scaled(scale)
+    if preview is not None:
+        scenario = scenario.preview(preview)
+    if profile is None:
+        profile = profile_by_name(scenario.game)
+    try:
+        runner = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; known: {backend_names()}"
+        ) from None
+    result, experiment = runner(scenario, profile, **options)
+    return ScenarioOutcome(
+        scenario=scenario,
+        backend=backend,
+        result=result,
+        experiment=experiment,
+    )

@@ -1,0 +1,96 @@
+"""The scenario sweep: every registered workload, one comparison table.
+
+Shared by the CLI (``python -m repro sweep``) and
+``benchmarks/bench_scenario_sweep.py`` so the two faces of the sweep
+can never drift apart.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.stats import percentile
+from repro.core.config import LoadPolicyConfig
+from repro.games.profile import profile_by_name
+from repro.harness.runner import run_scenario
+from repro.workload.scenarios import build_scenario, scenario_names
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One scenario's summary metrics."""
+
+    scenario: str
+    peak_clients: float
+    peak_servers: int
+    splits: int
+    reclaims: int
+    peak_queue: float
+    p99_latency: float
+    events: int
+    wall_seconds: float
+
+
+def sweep_scenarios(
+    scale: float,
+    seed: int = 0,
+    preview: float | None = None,
+    on_result: Callable[[SweepRow], None] | None = None,
+) -> list[SweepRow]:
+    """Run every registered scenario (Matrix backend) at *scale*.
+
+    Population, policy thresholds and server capacity all scale
+    together, preserving split/reclaim dynamics.  *on_result* is called
+    after each scenario (progress reporting).
+    """
+    from repro.harness.compare import scaled_profile  # local: avoid cycle
+
+    rows = []
+    for name in scenario_names():
+        scenario = build_scenario(name)
+        profile = scaled_profile(profile_by_name(scenario.game), scale)
+        started = time.perf_counter()
+        outcome = run_scenario(
+            scenario,
+            profile=profile,
+            scale=scale,
+            preview=preview,
+            policy=LoadPolicyConfig().scaled(scale),
+            seed=seed,
+        )
+        result = outcome.result
+        latencies = result.action_latencies
+        row = SweepRow(
+            scenario=name,
+            peak_clients=result.total_clients.max(),
+            peak_servers=result.peak_servers_in_use,
+            splits=result.splits_completed,
+            reclaims=result.reclaims_completed,
+            peak_queue=result.max_queue(),
+            p99_latency=percentile(latencies, 99) if latencies else 0.0,
+            events=result.events_processed,
+            wall_seconds=time.perf_counter() - started,
+        )
+        rows.append(row)
+        if on_result is not None:
+            on_result(row)
+    return rows
+
+
+def format_sweep_table(rows: list[SweepRow]) -> str:
+    """Render the sweep table (shared by CLI and bench output)."""
+    lines = [
+        f"{'scenario':<20} {'clients':>8} {'servers':>8} {'splits':>7} "
+        f"{'reclaims':>9} {'peak q':>8} {'p99 (s)':>8} {'events':>10} "
+        f"{'wall (s)':>9}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.scenario:<20} {row.peak_clients:>8.0f} "
+            f"{row.peak_servers:>8} {row.splits:>7} {row.reclaims:>9} "
+            f"{row.peak_queue:>8.0f} {row.p99_latency:>8.3f} "
+            f"{row.events:>10} {row.wall_seconds:>9.1f}"
+        )
+    return "\n".join(lines)

@@ -1,16 +1,37 @@
-"""Workload generation: mobility models and client fleets."""
+"""Workload generation: mobility models, client fleets, and the
+declarative scenario subsystem (:mod:`repro.workload.scenarios`)."""
 
 from repro.workload.fleet import ClientFleet, Locator
 from repro.workload.mobility import (
+    CommuterMobility,
+    Flock,
+    FlockMobility,
     HotspotMobility,
+    MobilityEnv,
+    MobilitySpec,
+    PursuitMobility,
     RandomWaypoint,
     Stationary,
+    TeleportMobility,
+    list_mobility_models,
+    mobility_builder,
+    register_mobility,
 )
 
 __all__ = [
     "ClientFleet",
+    "CommuterMobility",
+    "Flock",
+    "FlockMobility",
     "HotspotMobility",
     "Locator",
+    "MobilityEnv",
+    "MobilitySpec",
+    "PursuitMobility",
     "RandomWaypoint",
     "Stationary",
+    "TeleportMobility",
+    "list_mobility_models",
+    "mobility_builder",
+    "register_mobility",
 ]

@@ -1,23 +1,29 @@
-"""Client fleet management: spawning, hotspot waves, departures.
+"""Client fleet management: spawning, waves, departures, churn.
 
 The fleet is the workload generator of every experiment: it creates
 :class:`~repro.games.base.GameClient` nodes, joins them to whichever
 game server owns their position (via a pluggable locator, so the same
-fleet drives Matrix *and* the static baseline), and schedules the
+fleet drives Matrix *and* every baseline), and schedules the
 arrival/departure waves that make up a scenario.
+
+The fleet is mobility-agnostic: it never names a concrete mobility
+class.  Every spawn resolves a :class:`~repro.workload.mobility.
+MobilitySpec` through the mobility registry, so new movement models
+plug in without touching this module (see
+:mod:`repro.workload.scenarios` for the declarative layer on top).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Sequence
+from typing import Callable
 
 from repro.games.base import GameClient
 from repro.games.profile import GameProfile
 from repro.geometry import Vec2
 from repro.net.network import Network
 from repro.sim.kernel import Simulator
-from repro.workload.mobility import HotspotMobility, RandomWaypoint
+from repro.workload.mobility import MobilityEnv, MobilitySpec
 
 #: Maps a world position to the name of the game server that owns it.
 Locator = Callable[[Vec2], str]
@@ -45,6 +51,9 @@ class ClientFleet:
         self.clients: list[GameClient] = []
         #: Named groups (e.g. "hotspot-1") for targeted departures.
         self.groups: dict[str, list[GameClient]] = {}
+        #: Clients promised to each group (scheduled waves + churn
+        #: arrivals so far); lets a drain know when it is truly done.
+        self._scheduled: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Spawning
@@ -78,24 +87,74 @@ class ClientFleet:
             self._rng.gauss(center.y, spread),
         ).clamped(world.xmin, world.ymin, world.xmax - eps, world.ymax - eps)
 
+    def _mobility_env(
+        self, center: Vec2 | None = None, spread: float | None = None
+    ) -> MobilityEnv:
+        return MobilityEnv(
+            world=self._profile.world,
+            speed=self._profile.move_speed,
+            rng=self._rng,
+            center=center,
+            spread=spread,
+        )
+
+    def spawn_group(
+        self,
+        count: int,
+        at: float = 0.0,
+        group: str = "background",
+        mobility: MobilitySpec | None = None,
+        center: Vec2 | None = None,
+        spread: float | None = None,
+        over: float = 0.0,
+    ) -> None:
+        """Schedule *count* players with any registered mobility model.
+
+        Placement is uniform over the world unless *center* is given, in
+        which case positions are Gaussian around it with sigma *spread*.
+        With ``over == 0`` the whole group joins in one event at *at*;
+        otherwise arrivals are spread evenly over *over* seconds (a
+        burst, not a single instant, matching the paper's "600 clients
+        joining").
+
+        Group-shared mobility state (e.g. a flock's anchor) is created
+        once here, per-client state at each arrival, with all randomness
+        drawn from the fleet stream in a deterministic order.
+        """
+        if center is not None and spread is None:
+            raise ValueError("center placement needs a spread")
+        spec = mobility if mobility is not None else MobilitySpec()
+        builder = spec.builder(self._mobility_env(center, spread))
+        self._scheduled[group] = self._scheduled.get(group, 0) + count
+
+        def spawn_one() -> None:
+            members = self.groups.setdefault(group, [])
+            # Draw order is part of the determinism contract: mobility
+            # stream first, then placement, then the client's stream.
+            mobility = builder()
+            position = (
+                self._hotspot_position(center, spread)
+                if center is not None
+                else self._random_position()
+            )
+            members.append(self._new_client(mobility, position))
+
+        if over <= 0.0:
+            def spawn_all() -> None:
+                for _ in range(count):
+                    spawn_one()
+
+            self._sim.at(at, spawn_all)
+        else:
+            for i in range(count):
+                offset = (i / max(count - 1, 1)) * over
+                self._sim.at(at + offset, spawn_one)
+
     def spawn_background(
         self, count: int, at: float = 0.0, group: str = "background"
     ) -> None:
         """Schedule *count* random-waypoint players to join at *at*."""
-
-        def spawn() -> None:
-            members = self.groups.setdefault(group, [])
-            for _ in range(count):
-                mobility = RandomWaypoint(
-                    self._profile.world,
-                    self._profile.move_speed,
-                    random.Random(self._rng.getrandbits(64)),
-                )
-                members.append(
-                    self._new_client(mobility, self._random_position())
-                )
-
-        self._sim.at(at, spawn)
+        self.spawn_group(count, at=at, group=group)
 
     def spawn_hotspot(
         self,
@@ -106,33 +165,60 @@ class ClientFleet:
         group: str,
         over: float = 2.0,
     ) -> None:
-        """Schedule a hotspot wave: *count* players piling onto *center*.
+        """Schedule a hotspot wave: *count* players piling onto *center*."""
+        self.spawn_group(
+            count,
+            at=at,
+            group=group,
+            mobility=MobilitySpec(
+                "hotspot", {"center": center, "spread": spread}
+            ),
+            center=center,
+            spread=spread,
+            over=over,
+        )
 
-        Arrivals are spread over *over* seconds (a burst, not a single
-        instant, matching the paper's "600 clients joining").
+    def spawn_churn(
+        self,
+        rate: float,
+        start: float,
+        stop: float,
+        group: str = "churn",
+        session: float = 30.0,
+        mobility: MobilitySpec | None = None,
+    ) -> None:
+        """Continuous churn: one arrival every ``1/rate`` s in
+        ``[start, stop)``; each arrival stays for an exponentially
+        distributed session (mean *session* seconds) and then leaves.
         """
+        if rate <= 0:
+            raise ValueError(f"churn rate must be positive: {rate}")
+        if session <= 0:
+            raise ValueError(f"mean session must be positive: {session}")
+        spec = mobility if mobility is not None else MobilitySpec()
+        builder = spec.builder(self._mobility_env())
+        interval = 1.0 / rate
 
-        def spawn_one() -> None:
+        def arrive() -> None:
+            if self._sim.now >= stop:
+                return
             members = self.groups.setdefault(group, [])
-            mobility = HotspotMobility(
-                self._profile.world,
-                center,
-                spread,
-                self._profile.move_speed,
-                random.Random(self._rng.getrandbits(64)),
-            )
-            members.append(
-                self._new_client(
-                    mobility, self._hotspot_position(center, spread)
-                )
-            )
+            self._scheduled[group] = self._scheduled.get(group, 0) + 1
+            client = self._new_client(builder(), self._random_position())
+            members.append(client)
+            lifetime = self._rng.expovariate(1.0 / session)
 
-        for i in range(count):
-            offset = (i / max(count - 1, 1)) * over
-            self._sim.at(at + offset, spawn_one)
+            def depart() -> None:
+                if client.active:
+                    client.leave()
+
+            self._sim.after(lifetime, depart)
+            self._sim.after(interval, arrive)
+
+        self._sim.at(start, arrive)
 
     # ------------------------------------------------------------------
-    # Departures
+    # Departures and migration
     # ------------------------------------------------------------------
     def depart_group(
         self,
@@ -144,27 +230,44 @@ class ClientFleet:
         """Drain *group* in batches of *batch_size* every *interval* s.
 
         Matches Fig 2's "200 clients disappearing at fixed intervals".
+        Each batch chains the next one until every client *promised* to
+        the group (scheduled waves and churn arrivals alike) has been
+        departed, so long-interval drains run to completion (no fixed
+        batch cap), members still arriving — even whole waves landing
+        after a batch emptied the group — are caught by later batches,
+        and no dead events linger once the drain is done.  Members that
+        leave on their own (e.g. churn sessions) keep the chain alive
+        with no-op batches until the run ends.
         """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive: {batch_size}")
+        departed: set[str] = set()
 
         def leave_batch() -> None:
             members = self.groups.get(group, [])
             active = [client for client in members if client.active]
             for client in active[:batch_size]:
                 client.leave()
+                departed.add(client.name)
+            # `departed` only decides when the chain may stop; actives
+            # are always eligible again, so a client re-activated by a
+            # late welcome is re-departed rather than left playing.
+            if len(departed) < self._scheduled.get(group, 0):
+                self._sim.after(interval, leave_batch)
 
-        # Schedule enough batches to drain any plausible group size;
-        # batches that find the group already empty are no-ops.
-        for index in range(64):
-            self._sim.at(start + index * interval, leave_batch)
+        self._sim.at(start, leave_batch)
 
     def move_group_hotspot(self, group: str, center: Vec2, at: float) -> None:
-        """Retarget a hotspot group's mobility to a new centre."""
+        """Retarget a group's mobility toward a new centre at *at*.
+
+        Goes through the public :meth:`~repro.games.base.GameClient.
+        retarget` protocol; members whose model does not support
+        retargeting are left alone.
+        """
 
         def retarget() -> None:
             for client in self.groups.get(group, []):
-                mobility = client._mobility
-                if isinstance(mobility, HotspotMobility):
-                    mobility.retarget(center)
+                client.retarget(center)
 
         self._sim.at(at, retarget)
 

@@ -1,0 +1,45 @@
+"""Declarative scenarios: workloads as data, not code.
+
+``spec`` defines the :class:`Scenario` dataclasses, ``registry`` the
+``@scenario`` lookup, ``catalog`` the built-in entries (imported here
+so the registry is populated as a side effect of importing this
+package).  The Fig 2 reproduction registers itself from
+:mod:`repro.harness.fig2`; running any scenario is the job of
+:func:`repro.harness.runner.run_scenario`.
+"""
+
+from repro.workload.scenarios.registry import (
+    build_scenario,
+    register_scenario,
+    scenario,
+    scenario_names,
+    unregister_scenario,
+)
+from repro.workload.scenarios.spec import (
+    ArrivalWave,
+    Churn,
+    Departure,
+    HotspotWave,
+    MapPoint,
+    Migration,
+    Phase,
+    Scenario,
+)
+
+from repro.workload.scenarios import catalog  # noqa: F401  (registers built-ins)
+
+__all__ = [
+    "ArrivalWave",
+    "Churn",
+    "Departure",
+    "HotspotWave",
+    "MapPoint",
+    "Migration",
+    "Phase",
+    "Scenario",
+    "build_scenario",
+    "register_scenario",
+    "scenario",
+    "scenario_names",
+    "unregister_scenario",
+]

@@ -1,0 +1,214 @@
+"""Built-in scenario catalog.
+
+Every entry is a full-paper-scale population; run scaled-down copies
+via ``Scenario.scaled`` (the CLI's ``--scale`` and the test suite do).
+The Fig 2 reproduction itself registers as ``fig2-hotspot`` from
+:mod:`repro.harness.fig2`, next to its schedule.
+"""
+
+from __future__ import annotations
+
+from repro.workload.mobility import MobilitySpec
+from repro.workload.scenarios.registry import scenario
+from repro.workload.scenarios.spec import (
+    ArrivalWave,
+    Churn,
+    Departure,
+    HotspotWave,
+    MapPoint,
+    Migration,
+    Scenario,
+)
+
+
+@scenario("flash-crowd")
+def flash_crowd() -> Scenario:
+    """One overwhelming hotspot that never drains — pure split stress."""
+    return Scenario(
+        name="flash-crowd",
+        description=(
+            "600 clients pile onto one point at t=10 and stay; the "
+            "split cascade must absorb the entire crowd."
+        ),
+        duration=120.0,
+        phases=(
+            ArrivalWave(count=60),
+            HotspotWave(
+                count=600,
+                center=MapPoint(0.625, 0.5),
+                at=10.0,
+                group="crowd",
+            ),
+        ),
+    )
+
+
+@scenario("migrating-hotspot")
+def migrating_hotspot() -> Scenario:
+    """A hotspot that walks across the map — splits must chase it."""
+    return Scenario(
+        name="migrating-hotspot",
+        description=(
+            "A 400-client hotspot forms, then retargets twice to "
+            "different map regions before draining; exercises the "
+            "public retarget protocol and reclaim-behind-the-wave."
+        ),
+        duration=200.0,
+        phases=(
+            ArrivalWave(count=60),
+            HotspotWave(
+                count=400,
+                center=MapPoint(0.625, 0.5),
+                at=10.0,
+                group="mob",
+            ),
+            Migration(group="mob", center=MapPoint(0.125, 0.5), at=70.0),
+            Migration(group="mob", center=MapPoint(0.625, 0.875), at=120.0),
+            Departure(group="mob", batch=100, start=160.0, interval=10.0),
+        ),
+    )
+
+
+@scenario("commuter-rush")
+def commuter_rush() -> Scenario:
+    """Morning and evening commuter waves looping fixed circuits."""
+    return Scenario(
+        name="commuter-rush",
+        description=(
+            "Two waves of commuters, each looping a personal circuit "
+            "of waystations — structured, recurring cross-partition "
+            "streams instead of uniform diffusion."
+        ),
+        duration=150.0,
+        phases=(
+            ArrivalWave(
+                count=240,
+                at=0.0,
+                group="early-shift",
+                mobility=MobilitySpec("commuter", {"stops": 3}),
+            ),
+            ArrivalWave(
+                count=240,
+                at=50.0,
+                group="late-shift",
+                mobility=MobilitySpec("commuter", {"stops": 4}),
+                over=10.0,
+            ),
+            Departure(
+                group="early-shift", batch=120, start=110.0, interval=15.0
+            ),
+        ),
+    )
+
+
+@scenario("flock-sweep")
+def flock_sweep() -> Scenario:
+    """Four flocks roaming the world as coherent moving hotspots."""
+    return Scenario(
+        name="flock-sweep",
+        description=(
+            "Four 90-player flocks (raids, convoys) each following a "
+            "shared roaming anchor — moving concentrations that cross "
+            "partition borders as one."
+        ),
+        duration=120.0,
+        phases=tuple(
+            ArrivalWave(
+                count=90,
+                at=5.0 * index,
+                group=f"flock-{index + 1}",
+                mobility=MobilitySpec("flock", {"spacing": 15.0}),
+                center=MapPoint(0.2 + 0.2 * index, 0.25 + 0.15 * index),
+                spread_fraction=0.5,
+            )
+            for index in range(4)
+        ),
+    )
+
+
+@scenario("portal-storm")
+def portal_storm() -> Scenario:
+    """Teleporters defeating locality — a server-switch stress test."""
+    return Scenario(
+        name="portal-storm",
+        description=(
+            "300 portal-hopping players teleport across the map on "
+            "arrival at waypoints; every hop is a cold handoff to a "
+            "server that never saw the client coming."
+        ),
+        duration=120.0,
+        phases=(
+            ArrivalWave(count=60),
+            ArrivalWave(
+                count=300,
+                at=10.0,
+                group="hoppers",
+                mobility=MobilitySpec("teleport", {"portal_chance": 0.35}),
+                over=5.0,
+            ),
+        ),
+    )
+
+
+@scenario("pursuit-melee")
+def pursuit_melee() -> Scenario:
+    """Pursuers shadowing roaming quarries — correlated mobile pairs."""
+    return Scenario(
+        name="pursuit-melee",
+        description=(
+            "300 hunters each chase an independent roaming quarry; "
+            "the population self-organises into drifting clusters "
+            "that stress split placement."
+        ),
+        duration=120.0,
+        phases=(
+            ArrivalWave(count=60),
+            ArrivalWave(
+                count=300,
+                at=10.0,
+                group="hunters",
+                mobility=MobilitySpec(
+                    "pursuit", {"quarry_speed_fraction": 0.7}
+                ),
+                over=4.0,
+            ),
+        ),
+    )
+
+
+@scenario("steady-churn")
+def steady_churn() -> Scenario:
+    """Constant login/logout turnover around a stable core."""
+    return Scenario(
+        name="steady-churn",
+        description=(
+            "A 120-player core plus 8 arrivals/s of short-session "
+            "players (mean 25 s) — the population is stable but its "
+            "membership never is; joins/leaves dominate traffic."
+        ),
+        duration=150.0,
+        phases=(
+            ArrivalWave(count=120),
+            Churn(rate=8.0, start=5.0, stop=130.0, session=25.0),
+        ),
+    )
+
+
+@scenario("uniform-roam")
+def uniform_roam() -> Scenario:
+    """Uniform random-waypoint roaming on a fixed 2-server grid.
+
+    The microbenchmark substrate: border crossings exercise the full
+    switch handoff, and overlap traffic between exactly two partitions
+    isolates the bandwidth-vs-overlap relationship.
+    """
+    return Scenario(
+        name="uniform-roam",
+        description=(
+            "150 random-waypoint players on a fixed 2x1 grid; every "
+            "border crossing is a full Matrix switch handoff."
+        ),
+        duration=120.0,
+        grid=(2, 1),
+        phases=(ArrivalWave(count=150),),
+    )

@@ -1,0 +1,71 @@
+"""Cross-process determinism without PYTHONHASHSEED pinning.
+
+Routing fan-out used to iterate hash-ordered sets of server names, so
+two processes with different hash seeds consumed network-latency draws
+in different orders and produced different figures; CI papered over it
+by pinning ``PYTHONHASHSEED=0``.  The spatial-forward path now sorts
+its fan-out, so runs under *different* hash seeds must produce
+identical :class:`~repro.net.stats.TrafficStats`.  (Hash randomisation
+is fixed per interpreter, so each run needs its own process.)
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+PROBE = """
+import json
+from repro.games.profile import bzflag_profile
+from repro.harness.runner import run_scenario
+from repro.workload.scenarios import ArrivalWave, Scenario
+
+scenario = Scenario(
+    name="hash-probe",
+    description="multi-server fan-out probe",
+    phases=(ArrivalWave(count=24),),
+    duration=15.0,
+    grid=(2, 2),
+)
+outcome = run_scenario(scenario, profile=bzflag_profile(), seed=3)
+result = outcome.result
+stats = result.traffic
+digest = {
+    "events": result.events_processed,
+    "messages": stats.total.messages,
+    "bytes": stats.total.bytes,
+    "delivered": outcome.experiment.network.delivered_count,
+    "kinds": sorted(
+        (kind, counter.messages, counter.bytes)
+        for kind, counter in stats.by_kind.items()
+    ),
+}
+print(json.dumps(digest, sort_keys=True))
+"""
+
+
+def _run_with_hash_seed(seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = str(SRC)
+    proc = subprocess.run(
+        [sys.executable, "-c", PROBE],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_traffic_stats_identical_across_hash_seeds():
+    first = _run_with_hash_seed("1")
+    second = _run_with_hash_seed("2")
+    assert first == second
+    # The probe actually exercised multi-server forwarding.
+    forward = [k for k in first["kinds"] if k[0] == "matrix.forward"]
+    assert forward and forward[0][1] > 0

@@ -66,6 +66,86 @@ def test_departures_leave_other_groups_alone():
     assert len(active) == 5
 
 
+def test_depart_group_not_capped_at_64_batches():
+    """A long drain needs >64 batches; the chained schedule runs them all
+    (the old fixed-64 schedule silently truncated)."""
+    experiment = make_experiment()
+    experiment.fleet.spawn_background(70, at=0.0, group="crowd")
+    experiment.fleet.depart_group("crowd", batch_size=1, start=5.0,
+                                  interval=1.0)
+    experiment.sim.run(until=80.0)
+    assert len(experiment.fleet.active_clients()) == 0
+
+
+def test_depart_group_stops_when_drained():
+    """The chain ends with the group: no dead events linger afterwards."""
+    experiment = make_experiment()
+    experiment.fleet.spawn_background(4, at=0.0, group="tiny")
+    experiment.fleet.depart_group("tiny", batch_size=2, start=2.0,
+                                  interval=500.0)
+    experiment.sim.run(until=3.0)
+    assert len(experiment.fleet.active_clients()) == 2
+    experiment.sim.run(until=503.0)
+    assert len(experiment.fleet.active_clients()) == 0
+    # Only periodic housekeeping remains; the old schedule would still
+    # hold ~62 pending departure batches reaching out to t=32000.
+    assert experiment.sim.pending_events < 50
+
+
+def test_depart_group_drains_groups_still_arriving():
+    """Batches fired while the wave is still arriving must not end the
+    chain early: every member departs once it has joined."""
+    experiment = make_experiment()
+    experiment.fleet.spawn_group(20, at=0.0, group="g", over=10.0)
+    experiment.fleet.depart_group("g", batch_size=5, start=4.0,
+                                  interval=2.0)
+    experiment.sim.run(until=40.0)
+    assert len(experiment.fleet.groups["g"]) == 20
+    assert len(experiment.fleet.active_clients()) == 0
+
+
+def test_depart_group_waits_for_promised_members():
+    """Even a batch that empties the group keeps the chain alive while
+    scheduled arrivals are still outstanding: the drain knows how many
+    clients the group was promised."""
+    experiment = make_experiment()
+    # A slow trickle: one arrival roughly every 10 s for 100 s.
+    experiment.fleet.spawn_group(10, at=0.0, group="trickle", over=100.0)
+    # The first batch (t=6) departs the lone arrived member and the
+    # group is momentarily empty; the chain must keep polling.
+    experiment.fleet.depart_group("trickle", batch_size=10, start=6.0,
+                                  interval=5.0)
+    experiment.sim.run(until=130.0)
+    assert len(experiment.fleet.groups["trickle"]) == 10
+    assert len(experiment.fleet.active_clients()) == 0
+
+
+def test_move_group_hotspot_uses_public_retarget():
+    experiment = make_experiment()
+    experiment.fleet.spawn_hotspot(10, Vec2(100, 100), spread=10.0,
+                                   at=0.0, group="spot")
+    experiment.fleet.move_group_hotspot("spot", Vec2(700, 700), at=5.0)
+    experiment.sim.run(until=45.0)
+    clients = experiment.fleet.groups["spot"]
+    near = sum(
+        1 for c in clients if c.position.distance_to(Vec2(700, 700)) < 150.0
+    )
+    assert near >= 8
+
+
+def test_spawn_group_with_registered_mobility():
+    from repro.workload.mobility import MobilitySpec
+
+    experiment = make_experiment()
+    experiment.fleet.spawn_group(
+        8, at=0.0, group="patrol",
+        mobility=MobilitySpec("commuter", {"stops": 3}),
+    )
+    experiment.sim.run(until=5.0)
+    assert len(experiment.fleet.groups["patrol"]) == 8
+    assert len(experiment.fleet.active_clients()) == 8
+
+
 def test_latency_aggregation():
     experiment = make_experiment()
     experiment.fleet.spawn_background(8, at=0.0)
