@@ -1,0 +1,55 @@
+"""The consolidated perf suite — the repo's performance trajectory.
+
+Unlike the figure benches (which reproduce a paper artifact), this
+bench exists to give the *reproduction itself* a perf baseline: three
+catalog scenarios through the unified runner, each reporting events/sec,
+messages/sec and the wall-clock step-latency distribution, plus a
+kernel-level comparison against a preserved replica of the
+pre-optimization event queue.  ``BENCH_perf_suite.json`` is the file CI
+diffs from run to run; see ``docs/BENCHMARKS.md`` for how to read it.
+"""
+
+from common import SCALE, SEED, record, record_json
+
+from repro.harness.perfsuite import (
+    SUITE_SCENARIOS,
+    format_suite_table,
+    kernel_comparison,
+    run_perf_suite,
+)
+
+#: Same rationale as the scenario sweep: a fifth of bench scale keeps
+#: the three double-runs (plain + instrumented) minutes-scale.
+SUITE_SCALE = SCALE * 0.2
+
+
+def test_perf_suite(benchmark):
+    scenarios = benchmark.pedantic(
+        lambda: run_perf_suite(SUITE_SCALE, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    kernel = kernel_comparison()
+
+    lines = [
+        f"perf suite (scale={SUITE_SCALE:g}, seed={SEED}): throughput and "
+        f"step latency across {len(scenarios)} catalog scenarios",
+        format_suite_table(scenarios),
+        "",
+        f"kernel drain: {kernel['events_per_sec']:,.0f} ev/s optimized vs "
+        f"{kernel['legacy_events_per_sec']:,.0f} ev/s rich-comparison heap "
+        f"({kernel['speedup_vs_rich_heap']:.2f}x)",
+    ]
+    record("perf_suite", "\n".join(lines))
+    record_json(
+        "perf_suite", {"scenarios": scenarios, "kernel": kernel}
+    )
+
+    assert set(scenarios) == set(SUITE_SCENARIOS)
+    for name, row in scenarios.items():
+        assert row["events"] > 0, f"{name} processed no events"
+        assert row["step_p99_us"] >= row["step_p50_us"] >= 0.0
+    # The optimization floor the tentpole claims: the tuple-entry heap
+    # must clear 1.3x over the pre-optimization kernel on the same
+    # scenario-shaped drain.
+    assert kernel["speedup_vs_rich_heap"] >= 1.3

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Check that local markdown links and file references resolve.
+
+Usage: ``python scripts/check_doc_links.py README.md docs/*.md``
+
+Validates every ``[text](target)`` whose target is a repo-relative
+path (external URLs and pure anchors are skipped).  Targets are
+resolved relative to the repository root first, then relative to the
+file containing the link, so both styles used in this repo work.
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def broken_links(doc: Path) -> list[str]:
+    bad: list[str] = []
+    for target in LINK.findall(doc.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if not (ROOT / path).exists() and not (doc.parent / path).exists():
+            bad.append(target)
+    return bad
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_doc_links.py <markdown files...>")
+        return 2
+    failures = 0
+    for name in argv:
+        doc = ROOT / name
+        if not doc.exists():
+            print(f"MISSING FILE {name}")
+            failures += 1
+            continue
+        for target in broken_links(doc):
+            print(f"BROKEN {name}: ({target})")
+            failures += 1
+        print(f"checked {name}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -11,6 +11,8 @@ Package map
   overlap-region decomposition at the heart of Matrix routing.
 * :mod:`repro.core` — the middleware: Matrix servers, the Matrix
   Coordinator, split/reclaim policy, and the developer-facing API.
+* :mod:`repro.perf` — opt-in counters/timers/samplers threaded through
+  the hot layers (off by default, zero-cost when off).
 * :mod:`repro.games` — generic game server/client plus BzFlag, Quake 2
   and Daimonin workload profiles.
 * :mod:`repro.workload` — mobility models and client fleets.
@@ -19,7 +21,11 @@ Package map
 * :mod:`repro.analysis` — time series, statistics, ASCII plots, and
   the §4.2 asymptotic scalability model.
 * :mod:`repro.harness` — runners that regenerate every figure and
-  table of the paper's evaluation.
+  table of the paper's evaluation, plus the unified scenario runner
+  and the consolidated perf suite.
+
+See ``docs/ARCHITECTURE.md`` for the layer map and message lifecycle,
+``docs/BENCHMARKS.md`` for what each benchmark reproduces.
 
 Quickstart
 ----------
@@ -38,6 +44,7 @@ from repro.core import (
     MatrixDeployment,
     MatrixPort,
     MatrixServer,
+    PerfConfig,
     ServerPool,
 )
 from repro.geometry import Rect, Vec2
@@ -50,6 +57,7 @@ __all__ = [
     "MatrixExperiment",
     "MatrixPort",
     "MatrixServer",
+    "PerfConfig",
     "Rect",
     "ServerPool",
     "Vec2",

@@ -9,6 +9,10 @@ Subcommands:
   thresholds/server capacity together, preserving the dynamics).
 * ``sweep`` — run every registered scenario back to back and print a
   comparison table (the CLI face of the scenario-sweep benchmark).
+* ``perf [scenario]`` — run one scenario with :mod:`repro.perf`
+  instrumentation on and print the counter/timer/sampler report, or
+  ``perf --suite`` for the consolidated throughput suite (the CLI face
+  of ``benchmarks/bench_perf_suite.py``).
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ import argparse
 import time
 
 from repro.analysis.stats import percentile
-from repro.core.config import LoadPolicyConfig
+from repro.core.config import LoadPolicyConfig, PerfConfig
 from repro.games.profile import profile_by_name
 from repro.harness.compare import scaled_profile
 from repro.harness.runner import backend_names, run_scenario
@@ -98,6 +102,61 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    from repro.perf import format_report
+
+    if args.suite:
+        from repro.harness.perfsuite import (
+            format_suite_table,
+            kernel_comparison,
+            run_perf_suite,
+        )
+
+        scenarios = run_perf_suite(
+            args.scale,
+            seed=args.seed,
+            preview=args.duration,
+            step_sample_every=args.sample_every,
+        )
+        kernel = kernel_comparison()
+        print(f"perf suite (scale={args.scale:g}, seed={args.seed}):")
+        print(format_suite_table(scenarios))
+        print()
+        print(
+            f"kernel drain: {kernel['events_per_sec']:,.0f} ev/s optimized "
+            f"vs {kernel['legacy_events_per_sec']:,.0f} ev/s legacy "
+            f"({kernel['speedup_vs_rich_heap']:.2f}x)"
+        )
+        return 0
+
+    if args.scenario is None:
+        print("error: a scenario name is required unless --suite is given")
+        return 2
+    scenario = build_scenario(args.scenario)
+    profile, policy = _scaled_setup(scenario.game, args.scale)
+    started = time.perf_counter()
+    outcome = run_scenario(
+        scenario,
+        profile=profile,
+        scale=args.scale,
+        preview=args.duration,
+        policy=policy,
+        perf=PerfConfig(
+            enabled=True, step_sample_every=args.sample_every
+        ),
+        seed=args.seed,
+    )
+    _summarize_run(outcome, time.perf_counter() - started)
+    print()
+    print(
+        format_report(
+            outcome.experiment.perf,
+            title=f"perf report: {scenario.name} @ scale {args.scale:g}",
+        )
+    )
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     rows = sweep_scenarios(
         args.scale,
@@ -145,6 +204,25 @@ def main(argv: list[str] | None = None) -> int:
     sweep_parser.add_argument("--seed", type=int, default=0)
     sweep_parser.add_argument("--duration", type=float, default=None)
 
+    perf_parser = sub.add_parser(
+        "perf", help="run with perf instrumentation and print the report"
+    )
+    perf_parser.add_argument(
+        "scenario", nargs="?", default=None,
+        help="registered scenario name (omit with --suite)",
+    )
+    perf_parser.add_argument(
+        "--suite", action="store_true",
+        help="run the consolidated perf suite instead of one scenario",
+    )
+    perf_parser.add_argument("--scale", type=float, default=0.05)
+    perf_parser.add_argument("--seed", type=int, default=1)
+    perf_parser.add_argument("--duration", type=float, default=None)
+    perf_parser.add_argument(
+        "--sample-every", type=int, default=16,
+        help="sample one kernel step's wall latency out of every N",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list-scenarios":
         _print_scenarios()
@@ -156,6 +234,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     return 2
 
 

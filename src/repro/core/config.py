@@ -140,6 +140,43 @@ class MiddlewareConfig:
 
 
 @dataclass(slots=True)
+class PerfConfig:
+    """Opt-in perf instrumentation (see :mod:`repro.perf`).
+
+    Off by default and free when off: the kernel picks an entirely
+    uninstrumented event loop, and every other hook site guards on a
+    ``perf is not None`` check that is never taken.
+    """
+
+    #: Master switch; when False no :class:`~repro.perf.PerfRegistry`
+    #: is created at all.
+    enabled: bool = False
+    #: Sample one kernel step's wall latency out of every N steps.
+    #: 1 = time every event (accurate, intrusive); the default keeps
+    #: the instrumented loop within a few percent of the plain one.
+    step_sample_every: int = 64
+    #: Cap on raw duration samples kept per timer (for percentiles).
+    timer_max_samples: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.step_sample_every < 1:
+            raise ValueError("step_sample_every must be >= 1")
+        if self.timer_max_samples < 0:
+            raise ValueError("timer_max_samples must be non-negative")
+
+    def build_registry(self):
+        """A :class:`~repro.perf.PerfRegistry`, or None when disabled."""
+        if not self.enabled:
+            return None
+        from repro.perf import PerfRegistry  # local: keep config light
+
+        return PerfRegistry(
+            step_sample_every=self.step_sample_every,
+            timer_max_samples=self.timer_max_samples,
+        )
+
+
+@dataclass(slots=True)
 class MatrixConfig:
     """Top-level configuration of a Matrix deployment."""
 
@@ -162,6 +199,8 @@ class MatrixConfig:
     wire: WireConfig = field(default_factory=WireConfig)
     #: Opt-in middleware pipeline stages (batching, metrics, faults).
     middleware: MiddlewareConfig = field(default_factory=MiddlewareConfig)
+    #: Opt-in perf instrumentation (counters/timers/samplers).
+    perf: PerfConfig = field(default_factory=PerfConfig)
     #: Matrix-server routing capacity (packets/second serviced).
     matrix_service_rate: float = 20000.0
     #: Seconds to provision a server host from the pool.

@@ -22,10 +22,10 @@ from repro.core.messages import (
     UnregisterServer,
 )
 from repro.geometry import (
+    OverlapMapCache,
     PartitionIndex,
     Rect,
     consistency_set_at,
-    decompose_partition,
     metric_by_name,
 )
 from repro.net.message import Message
@@ -46,8 +46,12 @@ class MatrixCoordinator(Node):
         self._standby: str | None = None
         self._sync_task = None
         # Indexed point → owner lookup, rebuilt lazily whenever the
-        # partitioning changes (replaces the old O(N) scan per query).
+        # partitioning changes.
         self._owner_index: PartitionIndex | None = None
+        # Incremental overlap-cell store: on a split/reclaim only the
+        # partitions the changed rectangles can reach are re-decomposed
+        # (created on first recompute, once a network/perf is known).
+        self._overlap_cache: OverlapMapCache | None = None
         self.recompute_count = 0
         self.query_count = 0
 
@@ -192,13 +196,12 @@ class MatrixCoordinator(Node):
         # One distinct set of overlap regions per radius (§3.1): the
         # game default plus any registered exception radii.
         radii = {self._radius, *self._config.extra_radii}
+        if self._overlap_cache is None:
+            perf = self._network.perf if self._network is not None else None
+            self._overlap_cache = OverlapMapCache(self._metric, perf=perf)
+        all_tables = self._overlap_cache.compute(self._partitions, radii)
         for ms_name, partition in self._partitions.items():
-            tables = {
-                radius: decompose_partition(
-                    ms_name, self._partitions, radius, self._metric
-                )
-                for radius in radii
-            }
+            tables = all_tables[ms_name]
             update = OverlapTableUpdate(
                 version=self._version,
                 partition=partition,

@@ -1,9 +1,10 @@
 """The Matrix server runtime: cohesive components over a shared context.
 
-Replaces the old monolithic ``repro.core.server`` module.  See
-:class:`~repro.core.runtime.server.MatrixServer` for the facade and the
-component modules (``router``, ``lifecycle``, ``transfer``, ``gossip``,
-``queries``) for the mechanics.
+:class:`~repro.core.runtime.server.MatrixServer` is a thin facade; the
+mechanics live in the component modules (``router``, ``lifecycle``,
+``transfer``, ``gossip``, ``queries``), which communicate only through
+the shared :class:`~repro.core.runtime.context.ServerContext`.  See
+``docs/ARCHITECTURE.md`` for the layer map.
 """
 
 from repro.core.runtime.context import ChildRecord, ServerContext, ServerStats

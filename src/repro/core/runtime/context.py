@@ -1,11 +1,10 @@
 """Shared state of one Matrix server's runtime components.
 
-The runtime package decomposes the old monolithic server into cohesive
-components (router, lifecycle, transfer, gossip, queries).  They
-communicate through one :class:`ServerContext` — the single place the
-server's mutable state lives — rather than through each other's
-internals, so each component can be read, tested and replaced on its
-own.
+The runtime package is built from cohesive components (router,
+lifecycle, transfer, gossip, queries).  They communicate through one
+:class:`ServerContext` — the single place the server's mutable state
+lives — rather than through each other's internals, so each component
+can be read, tested and replaced on its own.
 """
 
 from __future__ import annotations
@@ -133,6 +132,11 @@ class ServerContext:
             return self.default_table
         return table
 
+    @property
+    def perf(self):
+        """The deployment's perf registry (None when instrumentation is off)."""
+        return self.node.network.perf
+
     def owner_of(self, point) -> str | None:
         """Owner of *point* among the last pushed partitions (or None).
 
@@ -143,5 +147,8 @@ class ServerContext:
         if self.owner_index is None:
             if not self.partitions:
                 return None
-            self.owner_index = PartitionIndex(self.partitions)
+            self.owner_index = PartitionIndex(self.partitions, perf=self.perf)
+        perf = self.perf
+        if perf is not None:
+            perf.counter("runtime.owner_lookups").inc()
         return self.owner_index.lookup(point)

@@ -35,8 +35,9 @@ class SpatialRouter:
             return
         point = packet.route_point()
         targets: set[str] = set()
-        if table.partition.contains(point):
-            targets.update(table.lookup(point))
+        consistency = table.lookup_or_none(point)
+        if consistency is not None:
+            targets.update(consistency)
         else:
             # The client has not been redirected yet (split in
             # progress): hand the packet to the partition owner.
@@ -95,8 +96,11 @@ class SpatialRouter:
         ctx.table_version = update.version
         ctx.partition = update.partition
         ctx.default_radius = update.default_radius
+        perf = ctx.perf
+        if perf is not None:
+            perf.counter("runtime.table_installs").inc()
         ctx.tables = {
-            radius: RegionIndex(update.partition, cells)
+            radius: RegionIndex(update.partition, cells, perf=perf)
             for radius, cells in update.tables.items()
         }
         ctx.partitions = update.partitions

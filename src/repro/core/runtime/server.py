@@ -1,6 +1,6 @@
 """The Matrix server (§3.2.3) — "the heart of our distributed middleware".
 
-The server itself is now a thin facade: a :class:`~repro.net.node.Node`
+The server itself is a thin facade: a :class:`~repro.net.node.Node`
 whose declarative dispatch table routes each message kind to one of the
 runtime components —
 

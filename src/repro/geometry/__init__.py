@@ -12,6 +12,7 @@ from repro.geometry.rect import Rect, tile_world
 from repro.geometry.regions import (
     ConsistencySet,
     OverlapCell,
+    OverlapMapCache,
     OverlapRegion,
     PartitionIndex,
     RegionIndex,
@@ -30,6 +31,7 @@ __all__ = [
     "ManhattanMetric",
     "Metric",
     "OverlapCell",
+    "OverlapMapCache",
     "OverlapRegion",
     "PartitionIndex",
     "Rect",

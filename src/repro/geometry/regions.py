@@ -237,7 +237,9 @@ class RegionIndex:
     reads the precomputed set for that elementary cell.
     """
 
-    def __init__(self, partition: Rect, cells: list[OverlapCell]) -> None:
+    def __init__(
+        self, partition: Rect, cells: list[OverlapCell], perf=None
+    ) -> None:
         self._partition = partition
         self._cells = cells
         xs = {partition.xmin, partition.xmax}
@@ -261,6 +263,8 @@ class RegionIndex:
             for yi in range(y0, y1):
                 for xi in range(x0, x1):
                     self._grid[yi][xi] = cell.servers
+        if perf is not None:
+            perf.counter("geometry.region_index_builds").add(len(cells))
 
     @property
     def partition(self) -> Rect:
@@ -293,6 +297,19 @@ class RegionIndex:
         yi = bisect.bisect_right(self._ys, point.y) - 1
         return self._grid[yi][xi]
 
+    def lookup_or_none(self, point: Vec2) -> ConsistencySet | None:
+        """Consistency set of *point*, or ``None`` when outside.
+
+        The router's per-packet path: one containment test decides both
+        "is this packet local?" and "what is its set?", instead of the
+        caller testing containment and :meth:`lookup` re-testing it.
+        """
+        if not self._partition.contains(point):
+            return None
+        xi = bisect.bisect_right(self._xs, point.x) - 1
+        yi = bisect.bisect_right(self._ys, point.y) - 1
+        return self._grid[yi][xi]
+
 
 class PartitionIndex:
     """Indexed point → partition-owner lookup over a set of rectangles.
@@ -301,12 +318,12 @@ class PartitionIndex:
     the whole partitioning: all partition boundaries form a grid whose
     elementary cells each lie inside exactly one partition (boundaries
     are grid lines, containment is half-open), so labelling each cell
-    with the partition containing its centre gives an exact
-    O(log n)-bisect owner lookup.  Replaces the O(N) linear scans the
-    coordinator and routers used per query/misrouted packet.
+    with the partition covering it gives an exact O(log n)-bisect owner
+    lookup — the coordinator's query path and the routers' misroute
+    path both stay sub-linear in the server count.
     """
 
-    def __init__(self, partitions: Mapping[object, Rect]) -> None:
+    def __init__(self, partitions: Mapping[object, Rect], perf=None) -> None:
         self._rects = dict(partitions)
         xs: set[float] = set()
         ys: set[float] = set()
@@ -321,19 +338,31 @@ class PartitionIndex:
             else None
         )
         columns = max(len(self._xs) - 1, 0)
-        self._grid: list[list[object | None]] = []
-        for yi in range(max(len(self._ys) - 1, 0)):
-            cy = (self._ys[yi] + self._ys[yi + 1]) / 2.0
-            row: list[object | None] = []
-            for xi in range(columns):
-                centre = Vec2((self._xs[xi] + self._xs[xi + 1]) / 2.0, cy)
-                owner = None
-                for pid, rect in self._rects.items():
-                    if rect.contains(centre):
-                        owner = pid
-                        break
-                row.append(owner)
-            self._grid.append(row)
+        rows = max(len(self._ys) - 1, 0)
+        # Paint each partition's rectangle onto the cells it covers
+        # (cells never straddle a partition edge: every edge is a grid
+        # line).  This is O(total cells) where the previous
+        # centre-in-which-rect scan was O(cells x partitions).  Cells
+        # are only painted once — for overlapping inputs the first
+        # partition in iteration order wins, exactly as the scan did.
+        grid: list[list[object | None]] = [
+            [None] * columns for _ in range(rows)
+        ]
+        for pid, rect in self._rects.items():
+            x0 = bisect.bisect_left(self._xs, rect.xmin)
+            x1 = bisect.bisect_left(self._xs, rect.xmax)
+            y0 = bisect.bisect_left(self._ys, rect.ymin)
+            y1 = bisect.bisect_left(self._ys, rect.ymax)
+            for yi in range(y0, y1):
+                row = grid[yi]
+                for xi in range(x0, x1):
+                    if row[xi] is None:
+                        row[xi] = pid
+        self._grid = grid
+        if perf is not None:
+            perf.counter("geometry.partition_index_builds").add(
+                columns * rows
+            )
 
     def __len__(self) -> int:
         return len(self._rects)
@@ -364,3 +393,103 @@ def compute_overlap_map(
         )
         for pid in partitions
     }
+
+
+class OverlapMapCache:
+    """Incremental overlap-region resolution across partition changes.
+
+    A partition's decomposition (:func:`decompose_partition`) depends
+    only on its own rectangle and on the other partitions whose
+    ``radius``-expanded rectangles reach it.  A split or reclamation
+    changes two or three rectangles, so most partitions' overlap cells
+    are unchanged — this cache recomputes only the partitions whose
+    result *can* have changed (their own rect changed, or a changed/
+    removed rect's expansion reaches them) and reuses the cached cell
+    lists for the rest.
+
+    Reuse is exact, not approximate: a reused entry is the same object
+    :func:`decompose_partition` produced earlier, and the affectedness
+    test uses the same ``expand → intersection is not None`` criterion
+    the decomposition itself uses to select participating neighbours.
+    The Matrix Coordinator's recompute-and-push therefore drops from
+    O(N) decompositions per split to O(neighbourhood).
+    """
+
+    def __init__(self, metric: Metric, perf=None) -> None:
+        self._metric = metric
+        self._previous: dict[object, Rect] = {}
+        self._cells: dict[tuple[object, float], list[OverlapCell]] = {}
+        if perf is not None:
+            self._recomputed = perf.counter("geometry.overlap_recomputed")
+            self._reused = perf.counter("geometry.overlap_reused")
+        else:
+            self._recomputed = None
+            self._reused = None
+
+    def compute(
+        self,
+        partitions: Mapping[object, Rect],
+        radii: Iterable[float],
+    ) -> dict[object, dict[float, list[OverlapCell]]]:
+        """Cell lists per partition per radius for the new *partitions*."""
+        radii = tuple(radii)
+        changed = {
+            pid
+            for pid, rect in partitions.items()
+            if self._previous.get(pid) != rect
+        }
+        removed = [
+            rect
+            for pid, rect in self._previous.items()
+            if pid not in partitions
+        ]
+        # Every rectangle whose appearance/disappearance/motion can
+        # alter a neighbour's decomposition: old and new rects of the
+        # changed partitions plus the rects that vanished.
+        dirty: list[Rect] = removed
+        for pid in changed:
+            old = self._previous.get(pid)
+            if old is not None:
+                dirty.append(old)
+            dirty.append(partitions[pid])
+
+        result: dict[object, dict[float, list[OverlapCell]]] = {}
+        for pid, rect in partitions.items():
+            tables: dict[float, list[OverlapCell]] = {}
+            for radius in radii:
+                key = (pid, radius)
+                cached = None if pid in changed else self._cells.get(key)
+                if cached is not None and not self._affected(
+                    rect, dirty, radius
+                ):
+                    tables[radius] = cached
+                    if self._reused is not None:
+                        self._reused.inc()
+                else:
+                    cells = decompose_partition(
+                        pid, partitions, radius, self._metric
+                    )
+                    self._cells[key] = cells
+                    tables[radius] = cells
+                    if self._recomputed is not None:
+                        self._recomputed.inc()
+            result[pid] = tables
+        # Drop entries for partitions/radii that no longer exist.
+        live_radii = set(radii)
+        self._cells = {
+            key: cells
+            for key, cells in self._cells.items()
+            if key[0] in partitions and key[1] in live_radii
+        }
+        self._previous = dict(partitions)
+        return result
+
+    def _affected(
+        self, rect: Rect, dirty: list[Rect], radius: float
+    ) -> bool:
+        """Can any dirty rectangle alter *rect*'s decomposition?"""
+        expand = self._metric.expand_rect
+        for other in dirty:
+            if expand(other, radius).intersection(rect) is not None:
+                return True
+        return False

@@ -1,4 +1,11 @@
-"""Experiment harness: runners for every figure/table of the paper."""
+"""Experiment harness: runners for every figure/table of the paper.
+
+Beyond the figure reproductions, :func:`run_scenario` pairs any
+registered scenario with a backend (Matrix or a baseline), and
+:func:`run_perf_suite` runs the consolidated throughput suite behind
+``benchmarks/bench_perf_suite.py`` and ``python -m repro perf --suite``
+(see docs/BENCHMARKS.md).
+"""
 
 from repro.harness.compare import (
     GameComparison,
@@ -19,6 +26,11 @@ from repro.harness.fig2 import (
     install_fleet_workload,
     mini_fig2_policy,
     run_fig2,
+)
+from repro.harness.perfsuite import (
+    SUITE_SCENARIOS,
+    kernel_comparison,
+    run_perf_suite,
 )
 from repro.harness.runner import (
     ScenarioOutcome,
@@ -48,6 +60,7 @@ __all__ = [
     "GameComparison",
     "MatrixExperiment",
     "SCALED_PERCEPTION_THRESHOLD",
+    "SUITE_SCENARIOS",
     "ScenarioOutcome",
     "SystemOutcome",
     "TransparencyReport",
@@ -58,6 +71,8 @@ __all__ = [
     "coordinator_overhead",
     "fig2_scenario",
     "format_comparison_table",
+    "kernel_comparison",
+    "run_perf_suite",
     "run_scenario",
     "scenario_backend",
     "install_fig2_workload",

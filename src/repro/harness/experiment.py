@@ -12,7 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.timeseries import Sampler, TimeSeries
-from repro.core.config import LoadPolicyConfig, MatrixConfig, MiddlewareConfig
+from repro.core.config import (
+    LoadPolicyConfig,
+    MatrixConfig,
+    MiddlewareConfig,
+    PerfConfig,
+)
 from repro.core.deployment import MatrixDeployment, ServerEvent
 from repro.games.base import GameServer
 from repro.games.profile import GameProfile
@@ -27,6 +32,7 @@ def matrix_config_for(
     profile: GameProfile,
     policy: LoadPolicyConfig | None = None,
     middleware: MiddlewareConfig | None = None,
+    perf: PerfConfig | None = None,
 ) -> MatrixConfig:
     """Derive a MatrixConfig from a game profile."""
     return MatrixConfig(
@@ -35,6 +41,7 @@ def matrix_config_for(
         metric_name=profile.metric_name,
         policy=policy or LoadPolicyConfig(),
         middleware=middleware or MiddlewareConfig(),
+        perf=perf or PerfConfig(),
     )
 
 
@@ -58,6 +65,9 @@ class ExperimentResult:
     pool_capacity: int
     peak_servers_in_use: int
     events_processed: int
+    #: :meth:`repro.perf.PerfRegistry.snapshot` of the run, or None
+    #: when instrumentation was off.
+    perf_snapshot: dict | None = None
 
     def max_queue(self) -> float:
         """Largest receive-queue sample across all servers."""
@@ -98,13 +108,20 @@ class MatrixExperiment:
         pool_capacity: int = 16,
         sample_period: float = 1.0,
         grid: tuple[int, int] | None = None,
+        perf: PerfConfig | None = None,
     ) -> None:
         self.profile = profile
         self.rng = RngRegistry(seed=seed)
-        self.sim = Simulator()
-        self.network = Network(self.sim, rng=self.rng.stream("network"))
         self.config = matrix_config or matrix_config_for(
-            profile, policy, middleware
+            profile, policy, middleware, perf
+        )
+        #: PerfRegistry when ``config.perf.enabled``, else None.  It is
+        #: shared by the kernel, the network and (through the network)
+        #: every runtime/geometry hook of this deployment.
+        self.perf = self.config.perf.build_registry()
+        self.sim = Simulator(perf=self.perf)
+        self.network = Network(
+            self.sim, rng=self.rng.stream("network"), perf=self.perf
         )
         self.deployment = MatrixDeployment(
             self.sim,
@@ -204,4 +221,7 @@ class MatrixExperiment:
             pool_capacity=self.deployment.pool.capacity,
             peak_servers_in_use=self._peak_servers,
             events_processed=self.sim.events_processed,
+            perf_snapshot=(
+                self.perf.snapshot() if self.perf is not None else None
+            ),
         )

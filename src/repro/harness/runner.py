@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.core.config import LoadPolicyConfig, MiddlewareConfig
+from repro.core.config import LoadPolicyConfig, MiddlewareConfig, PerfConfig
 from repro.games.profile import GameProfile, profile_by_name
 from repro.harness.experiment import ExperimentResult, MatrixExperiment
 from repro.workload.scenarios import Scenario, build_scenario
@@ -67,6 +67,7 @@ def _run_matrix(
     *,
     policy: LoadPolicyConfig | None = None,
     middleware: MiddlewareConfig | None = None,
+    perf: PerfConfig | None = None,
     seed: int = 0,
     pool_capacity: int = 16,
     sample_period: float = 1.0,
@@ -75,6 +76,7 @@ def _run_matrix(
         profile,
         policy=policy,
         middleware=middleware,
+        perf=perf,
         seed=seed,
         pool_capacity=pool_capacity,
         sample_period=sample_period,

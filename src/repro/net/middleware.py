@@ -56,6 +56,22 @@ class MiddlewareStage:
         """Called by :meth:`MiddlewarePipeline.use` on installation."""
         self._node = node
 
+    def inbound_kinds(self) -> frozenset[str] | None:
+        """The message kinds this stage's inbound hook inspects.
+
+        ``None`` (the default) means *every* kind.  Returning a set is
+        a promise that :meth:`on_inbound` passes any other kind through
+        unchanged; the pipeline uses it to compile per-kind stage
+        chains so uninterested stages are never called (the dispatch
+        fast path).  Stages that override the hook without overriding
+        this keep the old call-me-for-everything behaviour.
+        """
+        return None
+
+    def outbound_kinds(self) -> frozenset[str] | None:
+        """Same contract as :meth:`inbound_kinds`, for the outbound hook."""
+        return None
+
     def on_inbound(self, message: Message) -> Message | None:
         """Hook a serviced inbound message; ``None`` consumes it."""
         return message
@@ -69,11 +85,30 @@ class MiddlewareStage:
 
 
 class MiddlewarePipeline:
-    """An ordered stack of :class:`MiddlewareStage` around one node."""
+    """An ordered stack of :class:`MiddlewareStage` around one node.
+
+    Per-kind fast path: the pipeline compiles, per message kind and
+    direction, the chain of hooks that actually inspect that kind —
+    stages whose hook is the base-class no-op, or whose declared
+    ``{in,out}bound_kinds`` exclude the kind, are dropped at compile
+    time instead of being called per message.  A kind with no
+    interested stage costs one dict lookup.  If a hook *transforms* a
+    message to a different kind mid-chain, processing falls back to the
+    generic stage walk for the remaining stages, so compiled chains are
+    an optimization, never a semantic change.
+    """
 
     def __init__(self, owner: "Node") -> None:
         self._owner = owner
         self._stages: list[MiddlewareStage] = []
+        #: kind -> tuple of (position-in-walk-order, bound hook).
+        self._in_chains: dict[str, tuple] = {}
+        self._out_chains: dict[str, tuple] = {}
+        self._perf_hooks = None
+
+    def attach_perf(self, perf) -> None:
+        """Start counting hook invocations in *perf* (a PerfRegistry)."""
+        self._perf_hooks = perf.counter("net.pipeline_hook_calls")
 
     @property
     def stages(self) -> Sequence[MiddlewareStage]:
@@ -87,6 +122,8 @@ class MiddlewarePipeline:
         """Install *stage* as the new innermost stage."""
         stage.bind(self._owner)
         self._stages.append(stage)
+        self._in_chains.clear()
+        self._out_chains.clear()
         return stage
 
     def stage(self, name: str) -> MiddlewareStage | None:
@@ -96,22 +133,87 @@ class MiddlewarePipeline:
                 return stage
         return None
 
-    def process_inbound(self, message: Message) -> Message | None:
-        """Run inbound hooks wire-side first; ``None`` = consumed."""
+    def _compile(self, kind: str, inbound: bool) -> tuple:
+        """Build the (position, hook) chain for one kind/direction."""
+        if inbound:
+            order: Sequence[MiddlewareStage] = self._stages
+            base = MiddlewareStage.on_inbound
+        else:
+            order = tuple(reversed(self._stages))
+            base = MiddlewareStage.on_outbound
+        chain = []
+        for position, stage in enumerate(order):
+            if inbound:
+                if type(stage).on_inbound is base:
+                    continue  # base no-op hook: nothing to run
+                kinds = stage.inbound_kinds()
+                hook = stage.on_inbound
+            else:
+                if type(stage).on_outbound is base:
+                    continue
+                kinds = stage.outbound_kinds()
+                hook = stage.on_outbound
+            if kinds is None or kind in kinds:
+                chain.append((position, hook))
+        compiled = tuple(chain)
+        (self._in_chains if inbound else self._out_chains)[kind] = compiled
+        return compiled
+
+    def _finish_generic(
+        self, message: Message, start: int, inbound: bool
+    ) -> Message | None:
+        """Walk the remaining stages generically after a kind change."""
+        order: Sequence[MiddlewareStage] = (
+            self._stages if inbound else tuple(reversed(self._stages))
+        )
+        perf = self._perf_hooks
         current: Message | None = message
-        for stage in self._stages:
-            current = stage.on_inbound(current)
+        for stage in order[start:]:
+            if perf is not None:
+                perf.inc()
+            current = (
+                stage.on_inbound(current)
+                if inbound
+                else stage.on_outbound(current)
+            )
             if current is None:
                 return None
         return current
 
-    def process_outbound(self, message: Message) -> Message | None:
-        """Run outbound hooks dispatch-side first; ``None`` = consumed."""
-        current: Message | None = message
-        for stage in reversed(self._stages):
-            current = stage.on_outbound(current)
+    def process_inbound(self, message: Message) -> Message | None:
+        """Run inbound hooks wire-side first; ``None`` = consumed."""
+        kind = message.kind
+        chain = self._in_chains.get(kind)
+        if chain is None:
+            chain = self._compile(kind, inbound=True)
+        perf = self._perf_hooks
+        current = message
+        for position, hook in chain:
+            if perf is not None:
+                perf.inc()
+            current = hook(current)
             if current is None:
                 return None
+            if current.kind != kind:
+                return self._finish_generic(current, position + 1, True)
+        return current
+
+    def process_outbound(self, message: Message) -> Message | None:
+        """Run outbound hooks dispatch-side first; ``None`` = consumed."""
+        kind = message.kind
+        chain = self._out_chains.get(kind)
+        if chain is None:
+            chain = self._compile(kind, inbound=False)
+        perf = self._perf_hooks
+        current = message
+        for position, hook in chain:
+            if perf is not None:
+                perf.inc()
+            current = hook(current)
+            if current is None:
+                return None
+            if current.kind != kind:
+                return self._finish_generic(current, position + 1, False)
         return current
 
     def flush(self) -> None:
@@ -183,6 +285,9 @@ class FaultInjectionStage(MiddlewareStage):
         self.dropped = 0
         self.duplicated = 0
 
+    def outbound_kinds(self) -> frozenset[str] | None:
+        return self._kinds
+
     def on_outbound(self, message: Message) -> Message | None:
         if self._kinds is not None and message.kind not in self._kinds:
             return message
@@ -240,6 +345,12 @@ class SpatialBatchingStage(MiddlewareStage):
         self.batches_sent = 0
         self.messages_saved = 0
         self.unbatched_received = 0
+
+    def outbound_kinds(self) -> frozenset[str]:
+        return self._kinds
+
+    def inbound_kinds(self) -> frozenset[str]:
+        return frozenset((BATCH_KIND,))
 
     def on_outbound(self, message: Message) -> Message | None:
         if message.kind not in self._kinds:

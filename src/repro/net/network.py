@@ -15,12 +15,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.net.latency import ConstantLatency, LatencyModel, lan, loopback, wan
 from repro.net.message import Message
 from repro.net.node import Node
 from repro.net.stats import TrafficStats
 from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.perf import PerfRegistry
 
 
 @dataclass(slots=True)
@@ -50,6 +54,12 @@ def loopback_profile() -> LinkProfile:
     return LinkProfile(latency=loopback(), bandwidth=12.5e9)
 
 
+#: Shared immutable loopback profile for co-located pairs.  The profile
+#: is constant-latency and stateless, so one instance can serve every
+#: pair; building a fresh model per packet showed up in profiles.
+_LOOPBACK = loopback_profile()
+
+
 class Network:
     """Registry of nodes plus the transmission fabric between them."""
 
@@ -58,6 +68,7 @@ class Network:
         sim: Simulator,
         rng: random.Random | None = None,
         default_profile: LinkProfile | None = None,
+        perf: "PerfRegistry | None" = None,
     ) -> None:
         self.sim = sim
         self._rng = rng if rng is not None else random.Random(0)
@@ -68,8 +79,21 @@ class Network:
         self._pair_profiles: dict[tuple[str, str], LinkProfile] = {}
         self._prefix_profiles: list[tuple[str, str, LinkProfile]] = []
         self._colocated: dict[str, str] = {}
+        # Resolved (src, dst) -> profile memo; resolution walks pair,
+        # prefix and colocation rules, so the result is cached per pair
+        # and invalidated whenever any rule changes.
+        self._profile_cache: dict[tuple[str, str], LinkProfile] = {}
         self.stats = TrafficStats()
         self.delivered_count = 0
+        self.perf = perf
+        if perf is not None:
+            self._perf_sent = perf.counter("net.messages_sent")
+            self._perf_delivered = perf.counter("net.messages_delivered")
+            self._perf_profile_miss = perf.counter("net.profile_cache_misses")
+        else:
+            self._perf_sent = None
+            self._perf_delivered = None
+            self._perf_profile_miss = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -101,6 +125,7 @@ class Network:
     def set_pair_profile(self, src: str, dst: str, profile: LinkProfile) -> None:
         """Set the profile for the ordered pair ``src → dst``."""
         self._pair_profiles[(src, dst)] = profile
+        self._profile_cache.clear()
 
     def set_prefix_profile(
         self, src_prefix: str, dst_prefix: str, profile: LinkProfile
@@ -110,6 +135,7 @@ class Network:
         Rules are checked in registration order; first match wins.
         """
         self._prefix_profiles.append((src_prefix, dst_prefix, profile))
+        self._profile_cache.clear()
 
     def set_colocated(self, a: str, b: str) -> None:
         """Mark two nodes as sharing a host (loopback path both ways).
@@ -119,11 +145,24 @@ class Network:
         """
         self._colocated[a] = b
         self._colocated[b] = a
+        self._profile_cache.clear()
 
     def profile_for(self, src: str, dst: str) -> LinkProfile:
-        """Resolve the link profile for ``src → dst``."""
+        """Resolve the link profile for ``src → dst`` (memoized)."""
+        key = (src, dst)
+        cached = self._profile_cache.get(key)
+        if cached is not None:
+            return cached
+        if self._perf_profile_miss is not None:
+            self._perf_profile_miss.inc()
+        profile = self._resolve_profile(src, dst)
+        self._profile_cache[key] = profile
+        return profile
+
+    def _resolve_profile(self, src: str, dst: str) -> LinkProfile:
+        """Uncached rule walk: colocation, exact pair, prefix, default."""
         if self._colocated.get(src) == dst:
-            return loopback_profile()
+            return _LOOPBACK
         pair = self._pair_profiles.get((src, dst))
         if pair is not None:
             return pair
@@ -145,6 +184,8 @@ class Network:
         """
         message.sent_at = self.sim.now
         self.stats.record(message)
+        if self._perf_sent is not None:
+            self._perf_sent.add(message.size_bytes)
         if message.dst not in self._nodes:
             return
         profile = self.profile_for(message.src, message.dst)
@@ -152,11 +193,16 @@ class Network:
             profile.latency.sample(self._rng)
             + message.size_bytes / profile.bandwidth
         )
-        self.sim.after(delay, lambda m=message: self._deliver(m))
+        # The message rides the event itself (``arg``) instead of a
+        # per-packet closure: the delivery drain is one shared bound
+        # method, so transmitting allocates no lambda and no cell vars.
+        self.sim.after(delay, self._deliver, arg=message)
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.dst)
         if node is None:
             return  # destination decommissioned while in flight
         self.delivered_count += 1
+        if self._perf_delivered is not None:
+            self._perf_delivered.add(message.size_bytes)
         node.inbox.deliver(message)

@@ -48,6 +48,13 @@ class Node(ABC):
         self._priority_kinds = priority_kinds
         self._inbox: ReceiveQueue | None = None
         self.middleware = MiddlewarePipeline(self)
+        # The pipeline's live stage list (appended to in place by
+        # ``use``): an empty-list truthiness check is how the hot send/
+        # receive paths skip the pipeline entirely on bare nodes.
+        self._mw_stages = self.middleware._stages
+        # kind -> bound handler, resolved through the class dispatch
+        # table on first use so steady-state dispatch is one dict hit.
+        self._handler_cache: dict[str, Any] = {}
         self.unhandled_count = 0
 
     # ------------------------------------------------------------------
@@ -56,6 +63,8 @@ class Node(ABC):
     def attach(self, network: "Network") -> None:
         """Called by :meth:`Network.add_node`; builds the receive queue."""
         self._network = network
+        if network.perf is not None:
+            self.middleware.attach_perf(network.perf)
         predicate = None
         if self._priority_kinds:
             kinds = self._priority_kinds
@@ -109,24 +118,42 @@ class Node(ABC):
             payload=payload,
             size_bytes=size_bytes,
         )
-        processed = self.middleware.process_outbound(message)
-        if processed is not None:
+        if self._mw_stages:
+            processed = self.middleware.process_outbound(message)
+            if processed is None:
+                return message
             self.network.transmit(processed)
+        else:
+            self.network.transmit(message)
         return message
 
     def handle_message(self, message: Message) -> None:
         """Process one serviced message: inbound middleware, then dispatch."""
-        processed = self.middleware.process_inbound(message)
-        if processed is not None:
+        if self._mw_stages:
+            processed = self.middleware.process_inbound(message)
+            if processed is None:
+                return
             self.dispatch(processed)
+        else:
+            self.dispatch(message)
 
     def dispatch(self, message: Message) -> None:
-        """Route *message* to the handler registered for its kind."""
-        method_name = self._dispatch_table.get(message.kind)
-        if method_name is None:
-            self.on_unhandled(message)
-            return
-        getattr(self, method_name)(message)
+        """Route *message* to the handler registered for its kind.
+
+        The bound handler is resolved once per (instance, kind) and
+        cached; afterwards dispatch costs a single dict lookup instead
+        of a dispatch-table probe plus a ``getattr`` bound-method
+        allocation per message.
+        """
+        handler = self._handler_cache.get(message.kind)
+        if handler is None:
+            method_name = self._dispatch_table.get(message.kind)
+            if method_name is None:
+                self.on_unhandled(message)
+                return
+            handler = getattr(self, method_name)
+            self._handler_cache[message.kind] = handler
+        handler(message)
 
     def on_unhandled(self, message: Message) -> None:
         """A message no handler claims: counted, then dropped.

@@ -1,36 +1,72 @@
 """Event queue for the discrete-event simulation kernel.
 
-The queue is a binary heap of :class:`Event` records ordered by
-``(time, priority, sequence)``.  The sequence number makes ordering total
-and deterministic: two events scheduled for the same instant always fire
-in the order they were scheduled, regardless of callback identity.
+The queue is a binary heap ordered by ``(time, priority, sequence)``.
+The sequence number makes ordering total and deterministic: two events
+scheduled for the same instant always fire in the order they were
+scheduled, regardless of callback identity.
+
+Hot-path layout
+---------------
+Heap entries are plain ``(time, priority, seq, event)`` tuples, *not*
+the :class:`Event` records themselves.  ``heapq`` then resolves every
+sift comparison on native float/int tuple elements — the sequence
+number is unique, so the trailing ``Event`` is never compared — where
+the previous rich-comparison dataclass paid a Python ``__lt__`` call
+per comparison (the single largest line in the pre-optimization
+profile, ~13% of a scenario run).  The ordering key is unchanged, so
+pop order — and therefore every simulation output — is bit-identical.
+
+Events optionally carry one argument (``arg``) that the kernel passes
+to the callback.  Schedulers with a per-event payload (the network's
+delivery path) use it to avoid allocating a closure per message.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 #: Default priority for events.  Lower values fire first at equal times.
 DEFAULT_PRIORITY = 0
 
+#: Sentinel: "this event's callback takes no argument".
+NO_ARG = object()
 
-@dataclass(order=True, slots=True)
+
 class Event:
     """A single scheduled callback.
 
-    Events compare by ``(time, priority, seq)`` so the heap pops them in
-    deterministic chronological order.
+    The kernel invokes ``callback()`` — or ``callback(arg)`` when an
+    argument was attached at scheduling time.  Cancellation is lazy:
+    :meth:`cancel` marks the record and the queue discards it on pop.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "arg", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        arg: Any = NO_ARG,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.arg = arg
+        self.cancelled = False
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return (
+            f"Event(t={self.time}, prio={self.priority}, seq={self.seq}, "
+            f"label={self.label!r}{state})"
+        )
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped."""
@@ -41,7 +77,7 @@ class EventQueue:
     """A deterministic priority queue of :class:`Event` objects."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
         self._live = 0
 
@@ -54,19 +90,19 @@ class EventQueue:
     def push(
         self,
         time: float,
-        callback: Callable[[], Any],
+        callback: Callable[..., Any],
         priority: int = DEFAULT_PRIORITY,
         label: str = "",
+        arg: Any = NO_ARG,
     ) -> Event:
-        """Schedule *callback* at *time* and return the (cancellable) event."""
-        event = Event(
-            time=time,
-            priority=priority,
-            seq=next(self._counter),
-            callback=callback,
-            label=label,
-        )
-        heapq.heappush(self._heap, event)
+        """Schedule *callback* at *time* and return the (cancellable) event.
+
+        When *arg* is given the kernel calls ``callback(arg)`` instead
+        of ``callback()``.
+        """
+        seq = next(self._counter)
+        event = Event(time, priority, seq, callback, arg, label)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
@@ -75,21 +111,45 @@ class EventQueue:
 
         Raises :class:`IndexError` when the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if event.cancelled:
                 continue
             self._live -= 1
             return event
         raise IndexError("pop from empty EventQueue")
 
+    def pop_before(self, limit: float | None) -> Event | None:
+        """Pop the earliest live event at time <= *limit* (None = any).
+
+        Returns ``None`` — leaving the queue untouched — when the queue
+        is empty or the earliest live event lies beyond *limit*.  This
+        is the kernel run loop's single-heap-inspection fast path
+        (peek + pop fused).
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[3]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if limit is not None and entry[0] > limit:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            return event
+        return None
+
     def peek_time(self) -> float | None:
         """Return the time of the earliest live event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def note_cancel(self) -> None:
         """Account for an externally cancelled event (keeps ``len`` honest)."""

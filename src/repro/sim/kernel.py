@@ -11,14 +11,25 @@ tiny and deterministic:
   :mod:`repro.sim.events`);
 * there is no wall-clock coupling whatsoever, so runs are exactly
   reproducible given a seed.
+
+Perf instrumentation (optional) measures the kernel from the outside:
+:meth:`Simulator.run` selects an instrumented copy of the event loop
+only when a :class:`~repro.perf.PerfRegistry` was attached, so the
+default loop carries zero instrumentation cost — not even a branch.
+Timers read the host clock and never feed back into simulation time,
+so an instrumented run is event-for-event identical to a plain one.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import time as _time
+from typing import TYPE_CHECKING, Any, Callable
 
-from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue
+from repro.sim.events import DEFAULT_PRIORITY, NO_ARG, Event, EventQueue
 from repro.sim.process import PeriodicTask
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.perf import PerfRegistry
 
 
 class SimulationError(RuntimeError):
@@ -38,12 +49,17 @@ class Simulator:
     [1.5]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        perf: "PerfRegistry | None" = None,
+    ) -> None:
         self._now = float(start_time)
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
         self._event_count = 0
+        self._perf = perf
 
     # ------------------------------------------------------------------
     # Clock
@@ -63,34 +79,47 @@ class Simulator:
         """Number of live events still scheduled."""
         return len(self._queue)
 
+    @property
+    def perf(self) -> "PerfRegistry | None":
+        """The attached perf registry, if instrumentation is on."""
+        return self._perf
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def at(
         self,
         time: float,
-        callback: Callable[[], Any],
+        callback: Callable[..., Any],
         priority: int = DEFAULT_PRIORITY,
         label: str = "",
+        arg: Any = NO_ARG,
     ) -> Event:
-        """Schedule *callback* at absolute simulation *time*."""
+        """Schedule *callback* at absolute simulation *time*.
+
+        When *arg* is given the kernel calls ``callback(arg)``; hot
+        schedulers use it instead of binding a closure per event.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self._now}"
             )
-        return self._queue.push(time, callback, priority=priority, label=label)
+        return self._queue.push(time, callback, priority=priority, label=label, arg=arg)
 
     def after(
         self,
         delay: float,
-        callback: Callable[[], Any],
+        callback: Callable[..., Any],
         priority: int = DEFAULT_PRIORITY,
         label: str = "",
+        arg: Any = NO_ARG,
     ) -> Event:
         """Schedule *callback* after a relative *delay* (seconds)."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.at(self._now + delay, callback, priority=priority, label=label)
+        return self.at(
+            self._now + delay, callback, priority=priority, label=label, arg=arg
+        )
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (idempotent)."""
@@ -120,13 +149,15 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the single earliest event.  Returns ``False`` if none."""
-        try:
-            event = self._queue.pop()
-        except IndexError:
+        event = self._queue.pop_before(None)
+        if event is None:
             return False
         self._now = event.time
         self._event_count += 1
-        event.callback()
+        if event.arg is NO_ARG:
+            event.callback()
+        else:
+            event.callback(event.arg)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
@@ -140,24 +171,79 @@ class Simulator:
             raise SimulationError("run() called re-entrantly")
         self._running = True
         self._stopped = False
-        executed = 0
         try:
-            while True:
-                if self._stopped:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
-                executed += 1
+            if self._perf is not None:
+                self._run_instrumented(until, max_events)
+            else:
+                self._run_plain(until, max_events)
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
             self._now = until
+
+    def _run_plain(self, until: float | None, max_events: int | None) -> None:
+        """The uninstrumented event loop (the default)."""
+        pop_before = self._queue.pop_before
+        no_arg = NO_ARG
+        executed = 0
+        while not self._stopped:
+            if max_events is not None and executed >= max_events:
+                break
+            event = pop_before(until)
+            if event is None:
+                break
+            self._now = event.time
+            self._event_count += 1
+            if event.arg is no_arg:
+                event.callback()
+            else:
+                event.callback(event.arg)
+            executed += 1
+
+    def _run_instrumented(
+        self, until: float | None, max_events: int | None
+    ) -> None:
+        """The same loop, sampling wall latency every Nth step.
+
+        Only the *measurement* is sampled — every event still executes
+        exactly as in the plain loop, in the same order, so the run's
+        simulation outputs are identical.
+        """
+        perf = self._perf
+        assert perf is not None
+        stride = perf.step_sample_every
+        step_timer = perf.timer("sim.step")
+        pending = perf.sampler("sim.pending_events")
+        events_counter = perf.counter("sim.events")
+        clock = _time.perf_counter
+        pop_before = self._queue.pop_before
+        queue = self._queue
+        no_arg = NO_ARG
+        executed = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = pop_before(until)
+                if event is None:
+                    break
+                self._now = event.time
+                self._event_count += 1
+                if executed % stride == 0:
+                    started = clock()
+                    if event.arg is no_arg:
+                        event.callback()
+                    else:
+                        event.callback(event.arg)
+                    step_timer.record(clock() - started)
+                    pending.record(self._now, float(len(queue)))
+                elif event.arg is no_arg:
+                    event.callback()
+                else:
+                    event.callback(event.arg)
+                executed += 1
+        finally:
+            events_counter.inc(executed)
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the executing event returns."""

@@ -297,3 +297,57 @@ def test_property_partition_index_exact_on_grids(columns, rows, x, y):
         (pid for pid, rect in parts.items() if rect.contains(point)), None
     )
     assert index.lookup(point) == linear
+
+
+def test_overlap_map_cache_matches_fresh_decomposition():
+    """The incremental cache must equal a from-scratch decomposition
+    after every partition change (split, reclaim, re-register)."""
+    from repro.geometry import OverlapMapCache, metric_by_name
+
+    metric = metric_by_name("euclidean", world=WORLD)
+    cache = OverlapMapCache(metric)
+    radius = 8.0
+
+    world = WORLD
+    left, right = world.halves("x")
+    rl, rr = right.halves("y")
+    steps = [
+        {"a": world},
+        {"a": left, "b": right},                    # split
+        {"a": left, "b": rl, "c": rr},              # nested split
+        {"a": left, "b": right},                    # reclaim
+        {"a": world},                               # full reclaim
+    ]
+    for partitions in steps:
+        result = cache.compute(partitions, (radius,))
+        for pid in partitions:
+            fresh = decompose_partition(pid, partitions, radius, metric)
+            assert result[pid][radius] == fresh, f"{pid} diverged"
+
+
+def test_overlap_map_cache_reuses_far_partitions():
+    """A split in one corner must not recompute a far-away partition."""
+    from repro.geometry import OverlapMapCache, metric_by_name
+    from repro.perf import PerfRegistry
+
+    metric = metric_by_name("euclidean", world=WORLD)
+    perf = PerfRegistry()
+    cache = OverlapMapCache(metric, perf=perf)
+    radius = 2.0
+    tiles = {
+        f"p{i}": tile for i, tile in enumerate(tile_world(WORLD, 4, 1))
+    }
+    cache.compute(tiles, (radius,))
+    recomputed_initial = perf.counters["geometry.overlap_recomputed"].count
+
+    # Split the leftmost column; the rightmost columns are far outside
+    # the 2-unit reach and must be served from cache.
+    a, b = tiles["p0"].halves("y")
+    changed = dict(tiles)
+    changed["p0"] = a
+    changed["p0b"] = b
+    result = cache.compute(changed, (radius,))
+    assert perf.counters["geometry.overlap_reused"].count >= 2
+    for pid in changed:
+        fresh = decompose_partition(pid, changed, radius, metric)
+        assert result[pid][radius] == fresh

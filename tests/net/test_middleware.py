@@ -190,3 +190,71 @@ def test_batching_leaves_control_kinds_alone():
     sim.run(until=1.0)
     assert [m.payload for m in rx.received] == ["ctl"]
     assert network.stats.by_kind[BATCH_KIND].messages == 0
+
+
+def test_declared_interest_skips_uninterested_stages():
+    """A stage declaring outbound kinds is never called for others."""
+
+    class Counting(MiddlewareStage):
+        def __init__(self):
+            super().__init__()
+            self.calls = 0
+
+        def outbound_kinds(self):
+            return frozenset({"interesting"})
+
+        def on_outbound(self, message):
+            self.calls += 1
+            return message
+
+    sim, network, tx, rx = pair()
+    stage = tx.use(Counting())
+    tx.send("rx", "data", [], size_bytes=8)
+    tx.send("rx", "interesting", [], size_bytes=8)
+    assert stage.calls == 1
+
+
+def test_kind_transform_falls_back_to_generic_walk():
+    """A stage rewriting a message's kind mid-chain must not let later
+    stages' compiled-chain selection (keyed on the *original* kind)
+    skip them."""
+
+    class Rewriter(MiddlewareStage):
+        def on_outbound(self, message):
+            return Message(
+                src=message.src,
+                dst=message.dst,
+                kind="rewritten",
+                payload=message.payload,
+                size_bytes=message.size_bytes,
+            )
+
+    class OnlyRewritten(MiddlewareStage):
+        def __init__(self):
+            super().__init__()
+            self.seen = []
+
+        def outbound_kinds(self):
+            return frozenset({"rewritten"})
+
+        def on_outbound(self, message):
+            self.seen.append(message.kind)
+            return message
+
+    sim, network, tx, rx = pair()
+    # Outbound runs innermost (last installed) first: Rewriter rewrites
+    # "data" -> "rewritten", then the wire-side stage must still see it
+    # even though its chain for "data" is empty.
+    watcher = tx.use(OnlyRewritten())
+    tx.use(Rewriter())
+    tx.send("rx", "data", [], size_bytes=8)
+    assert watcher.seen == ["rewritten"]
+    assert network.stats.by_kind["rewritten"].messages == 1
+
+
+def test_stages_installed_after_traffic_invalidate_chains():
+    sim, network, tx, rx = pair()
+    tx.send("rx", "data", [], size_bytes=8)  # compiles the empty chain
+    metrics = tx.use(KindMetricsStage())
+    tx.send("rx", "data", [], size_bytes=8)
+    assert metrics.outbound["data"].messages == 1

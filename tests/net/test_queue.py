@@ -103,3 +103,43 @@ def test_busy_time_accumulates():
         queue.deliver(make_message(i))
     sim.run()
     assert queue.busy_time == pytest.approx(1.0)
+
+
+def test_infinite_rate_fast_path_keeps_counters_exact():
+    """The in-place service fast path must report the same counters the
+    general enqueue/dequeue path would have."""
+    sim = Simulator()
+    handled = []
+    queue = ReceiveQueue(sim, handled.append)
+    for i in range(3):
+        queue.deliver(make_message(i))
+    assert [m.payload for m in handled] == [0, 1, 2]
+    assert queue.serviced_count == 3
+    assert queue.peak_length == 1  # each message transiently occupied it
+    assert queue.length == 0
+    assert queue.dropped_count == 0
+
+
+def test_infinite_rate_fast_path_drains_reentrant_deliveries():
+    sim = Simulator()
+    handled = []
+    queue = None
+
+    def handler(message):
+        handled.append(message.payload)
+        if message.payload == 0:
+            queue.deliver(make_message(1))  # delivered mid-service
+
+    queue = ReceiveQueue(sim, handler)
+    queue.deliver(make_message(0))
+    assert handled == [0, 1]
+    assert queue.serviced_count == 2
+
+
+def test_zero_capacity_queue_still_drops():
+    sim = Simulator()
+    handled = []
+    queue = ReceiveQueue(sim, handled.append, capacity=0)
+    queue.deliver(make_message(0))
+    assert handled == []
+    assert queue.dropped_count == 1

@@ -1,0 +1,49 @@
+"""Regression pin on the ``BENCH_perf_suite.json`` metrics schema.
+
+The perf trajectory diffs this file across commits; key drift would
+silently break the comparison, so the schema is asserted here against
+a miniature suite run.
+"""
+
+from repro.harness.perfsuite import (
+    KERNEL_METRIC_KEYS,
+    SCENARIO_METRIC_KEYS,
+    SUITE_SCENARIOS,
+    RichComparisonEventQueue,
+    drain_throughput,
+    kernel_comparison,
+    run_perf_suite,
+)
+from repro.sim.events import EventQueue
+
+
+def test_suite_scenarios_are_registered_catalog_names():
+    from repro.workload.scenarios import scenario_names
+
+    assert set(SUITE_SCENARIOS) <= set(scenario_names())
+
+
+def test_scenario_metrics_schema_is_stable():
+    results = run_perf_suite(
+        0.02, seed=3, scenarios=("steady-churn",), preview=20.0
+    )
+    assert set(results) == {"steady-churn"}
+    row = results["steady-churn"]
+    assert set(row) == SCENARIO_METRIC_KEYS
+    assert row["events"] > 0
+    assert row["events_per_sec"] > 0
+    assert row["messages_per_sec"] > 0
+    assert row["step_p99_us"] >= row["step_p50_us"] >= 0.0
+
+
+def test_kernel_comparison_schema_is_stable():
+    kernel = kernel_comparison(n_events=2000)
+    assert set(kernel) == KERNEL_METRIC_KEYS
+    assert kernel["events_per_sec"] > 0
+    assert kernel["legacy_events_per_sec"] > 0
+    assert kernel["speedup_vs_rich_heap"] > 0
+
+
+def test_drain_throughput_accepts_both_queue_implementations():
+    assert drain_throughput(EventQueue(), 500) > 0
+    assert drain_throughput(RichComparisonEventQueue(), 500) > 0

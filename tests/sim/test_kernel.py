@@ -173,3 +173,68 @@ def test_zero_delay_event_fires_at_now():
     sim.after(0.0, lambda: fired.append(sim.now))
     sim.run()
     assert fired == [0.0]
+
+
+def test_arg_carrying_events_pass_payload_to_callback():
+    sim = Simulator()
+    got = []
+    sim.after(1.0, got.append, arg="payload")
+    sim.after(2.0, got.append, arg=None)  # None is a real argument
+    sim.run()
+    assert got == ["payload", None]
+
+
+def test_arg_carrying_event_fires_via_step():
+    sim = Simulator()
+    got = []
+    sim.after(1.0, got.append, arg=7)
+    assert sim.step() is True
+    assert got == [7]
+
+
+def test_pop_before_respects_limit_and_leaves_future_events():
+    from repro.sim.events import EventQueue
+
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(3.0, lambda: None)
+    assert queue.pop_before(2.0).time == 1.0
+    assert queue.pop_before(2.0) is None
+    assert len(queue) == 1  # the t=3 event is untouched
+    assert queue.pop_before(None).time == 3.0
+    assert queue.pop_before(None) is None
+
+
+def test_pop_before_skips_cancelled_events():
+    from repro.sim.events import EventQueue
+
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    first.cancel()
+    queue.note_cancel()
+    assert queue.pop_before(None).time == 2.0
+
+
+def test_instrumented_run_is_event_identical():
+    from repro.perf import PerfRegistry
+
+    def build(sim):
+        order = []
+        for i in range(100):
+            sim.at(float(i % 7) * 0.5, lambda i=i: order.append(i))
+        return order
+
+    plain_sim = Simulator()
+    plain = build(plain_sim)
+    plain_sim.run()
+
+    perf = PerfRegistry(step_sample_every=3)
+    inst_sim = Simulator(perf=perf)
+    instrumented = build(inst_sim)
+    inst_sim.run()
+
+    assert instrumented == plain
+    assert inst_sim.events_processed == plain_sim.events_processed == 100
+    assert perf.counters["sim.events"].count == 100
+    assert perf.timers["sim.step"].count > 0
