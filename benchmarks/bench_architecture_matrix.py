@@ -1,0 +1,153 @@
+"""Arch-matrix — every scenario on every architecture backend (§4–§5).
+
+The paper's comparative claim, as one grid: all registered catalog
+scenarios run on all registered backends (matrix, static, mirrored,
+p2p, dht) through the unified runner, and each cell reports the four
+numbers the architectures trade off — peak receive queue, consistency
+bytes, routing-lookup latency, and p99 response latency.
+
+Persisted as ``BENCH_architecture_matrix.json`` (schema in
+docs/BENCHMARKS.md) so the perf-trajectory tooling can diff the grid
+across commits.
+"""
+
+from common import SCALE, SEED, record, record_json, scaled_policy, game_profile
+
+from repro.analysis.stats import percentile
+from repro.baselines.p2p import DEFAULT_UPLINK_BYTES_PER_S
+from repro.harness.runner import backend_names, run_scenario
+from repro.workload.scenarios import scenario_names
+
+#: The grid runs every backend, so population scale is capped below the
+#: figure benches' default: p2p fan-out is quadratic in hotspot size.
+ARCH_SCALE = min(SCALE, 0.1)
+#: Per-cell preview cap (simulated seconds): long tails add wall time
+#: without changing which architecture saturates first.
+PREVIEW = 60.0
+
+#: Message-kind prefixes that constitute each backend's consistency
+#: traffic (what it spends to keep replicas/peers/lookups coherent).
+CONSISTENCY_PREFIXES = {
+    "matrix": ("matrix.forward",),
+    "static": ("matrix.forward",),
+    "mirrored": ("mirror.",),
+    "p2p": ("p2p.",),
+    "dht": ("matrix.forward", "dht."),
+}
+
+
+def run_matrix_grid():
+    import time
+
+    grid = {}
+    policy = scaled_policy(ARCH_SCALE)
+    for backend in backend_names():
+        grid[backend] = {}
+        for name in scenario_names():
+            options = {"seed": SEED}
+            if backend == "matrix":
+                options["policy"] = policy
+            if backend == "p2p":
+                # Like compare_backends: the consumer uplink scales with
+                # the population or p2p's bottleneck silently vanishes.
+                options["uplink_capacity"] = (
+                    DEFAULT_UPLINK_BYTES_PER_S * ARCH_SCALE
+                )
+            started = time.perf_counter()
+            outcome = run_scenario(
+                name,
+                backend=backend,
+                profile=game_profile_for(name),
+                scale=ARCH_SCALE,
+                preview=PREVIEW,
+                **options,
+            )
+            wall = time.perf_counter() - started
+            result = outcome.result
+            stats = result.traffic
+            consistency_bytes = sum(
+                stats.kind_bytes(prefix)
+                for prefix in CONSISTENCY_PREFIXES[backend]
+            )
+            latencies = result.action_latencies
+            consistency = getattr(result, "consistency", {}) or {}
+            grid[backend][name] = {
+                "peak_queue": result.max_queue(),
+                "dropped": float(getattr(result, "dropped_packets", 0)),
+                "consistency_bytes": float(consistency_bytes),
+                "lookup_latency_ms": (
+                    consistency.get("mean_lookup_latency", 0.0) * 1000.0
+                ),
+                "p99_latency_ms": (
+                    percentile(latencies, 99) * 1000.0 if latencies else 0.0
+                ),
+                "events": float(
+                    getattr(result, "events_processed", 0)
+                    or outcome.experiment.sim.events_processed
+                ),
+                "wall_seconds": wall,
+            }
+    return grid
+
+
+def game_profile_for(scenario_name):
+    from repro.workload.scenarios import build_scenario
+
+    return game_profile(build_scenario(scenario_name).game, ARCH_SCALE)
+
+
+def format_grid(grid) -> str:
+    lines = [
+        f"{'backend':<9} {'scenario':<19} {'peak q':>7} {'dropped':>8} "
+        f"{'consist kB':>11} {'lookup ms':>10} {'p99 ms':>8} {'events':>8}"
+    ]
+    for backend in sorted(grid):
+        for name in sorted(grid[backend]):
+            cell = grid[backend][name]
+            lines.append(
+                f"{backend:<9} {name:<19} {cell['peak_queue']:>7.0f} "
+                f"{cell['dropped']:>8.0f} "
+                f"{cell['consistency_bytes'] / 1000:>11.1f} "
+                f"{cell['lookup_latency_ms']:>10.3f} "
+                f"{cell['p99_latency_ms']:>8.0f} {cell['events']:>8.0f}"
+            )
+    return "\n".join(lines)
+
+
+def test_architecture_matrix(benchmark):
+    grid = benchmark.pedantic(run_matrix_grid, rounds=1, iterations=1)
+
+    backends = sorted(grid)
+    scenarios = sorted(grid[backends[0]])
+    lines = [
+        f"Arch-matrix (scale={ARCH_SCALE:g}, preview={PREVIEW:.0f}s): "
+        f"{len(scenarios)} scenarios x {len(backends)} backends",
+        format_grid(grid),
+    ]
+    record("architecture_matrix", "\n".join(lines))
+    record_json(
+        "architecture_matrix",
+        {
+            "arch_scale": ARCH_SCALE,
+            "preview_seconds": PREVIEW,
+            "backends": backends,
+            "scenarios": scenarios,
+            "grid": grid,
+        },
+    )
+
+    # Every cell completed: the unified runner really is universal.
+    for backend in backends:
+        assert set(grid[backend]) == set(scenarios)
+        for name in scenarios:
+            assert grid[backend][name]["events"] > 0, (backend, name)
+
+    for name in scenarios:
+        # Replicate-everything costs more than overlap-only forwarding.
+        assert (
+            grid["mirrored"][name]["consistency_bytes"]
+            > grid["matrix"][name]["consistency_bytes"]
+        ), name
+        # DHT pays real lookup latency; table-based backends pay none.
+        assert grid["dht"][name]["lookup_latency_ms"] > 0.0, name
+        assert grid["matrix"][name]["lookup_latency_ms"] == 0.0, name

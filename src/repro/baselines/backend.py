@@ -1,0 +1,218 @@
+"""The unified ArchitectureBackend layer (§5's rivals, made runnable).
+
+The paper's comparison (§5) pits Matrix against three architectural
+rivals: mirrored fully-consistent servers, peer-to-peer region groups,
+and DHT-style lookup.  Each rival answers the same three questions
+differently —
+
+* **ownership** — which node is responsible for a client / a point of
+  the map;
+* **routing** — how a spatially-tagged packet reaches every node that
+  must stay consistent;
+* **consistency traffic** — what extra messages that answer costs.
+
+This module gives those answers a shared execution shape.  An
+:class:`ArchitectureBackend` owns the simulator, the network, the RNG
+registry and the client fleet — exactly the scaffolding
+:class:`~repro.harness.experiment.MatrixExperiment` owns for Matrix —
+and defers only topology (:meth:`~ArchitectureBackend.build`) and
+ownership (:meth:`~ArchitectureBackend.locate`) to each subclass.  The
+workload side is untouched: every backend serves the same
+:class:`~repro.workload.fleet.ClientFleet` through the same ``Locator``
+contract, which is what keeps cross-architecture comparisons
+apples-to-apples.
+
+Backends register with the unified runner via
+``@scenario_backend(name, info=...)`` (see :mod:`repro.harness.runner`),
+so any declarative scenario from the catalog runs on any architecture.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.timeseries import Sampler, TimeSeries
+from repro.core.config import PerfConfig
+from repro.games.profile import GameProfile
+from repro.geometry import Vec2
+from repro.net.network import Network
+from repro.net.stats import TrafficStats
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.workload.fleet import ClientFleet
+
+
+@dataclass(frozen=True, slots=True)
+class BackendInfo:
+    """The three architectural answers, as displayable metadata.
+
+    Rendered by ``python -m repro list-backends`` and the docs table;
+    supplied alongside the runner registration
+    (``@scenario_backend(name, info=...)``).  A backend registered
+    without one still runs but is invisible to ``list-backends`` and
+    ``backend_info`` reports it as info-less.
+    """
+
+    name: str
+    ownership: str
+    routing: str
+    consistency: str
+    summary: str = ""
+
+
+@dataclass
+class BackendResult:
+    """What one backend run produced — the cross-architecture superset.
+
+    Every field the old ``StaticResult`` carried is still here under
+    the same name (``StaticResult`` is now an alias), plus the traffic
+    and consistency accounting the architecture-matrix benchmark
+    compares across backends.  ``consistency`` holds backend-specific
+    measurements (replication counts, upload rates, lookup hops); its
+    keys are documented per backend.
+    """
+
+    profile_name: str
+    duration: float
+    clients_per_server: dict[str, TimeSeries]
+    queue_per_server: dict[str, TimeSeries]
+    dropped_packets: int
+    action_latencies: list[float]
+    switch_latencies: list[float]
+    backend: str = ""
+    servers_used: int = 0
+    events_processed: int = 0
+    traffic: TrafficStats | None = None
+    consistency: dict[str, float] = field(default_factory=dict)
+    #: :meth:`repro.perf.PerfRegistry.snapshot`, or None when off.
+    perf_snapshot: dict | None = None
+
+    def max_queue(self) -> float:
+        """Largest receive-queue sample across the backend's servers."""
+        peaks = [s.max() for s in self.queue_per_server.values() if len(s)]
+        return max(peaks) if peaks else 0.0
+
+
+class ArchitectureBackend(ABC):
+    """Shared scaffolding for one rival architecture's experiment.
+
+    Construction wires, in a fixed order that is part of the
+    determinism contract (named RNG streams are created in the same
+    sequence every run): RNG registry, simulator, network, the
+    subclass's topology (:meth:`build`), then the client fleet homed by
+    :meth:`locate`.  :meth:`run` samples the same per-server series the
+    Matrix experiment samples and assembles a :class:`BackendResult`.
+    """
+
+    #: Registered backend name (matches the runner registration).
+    name: str = ""
+
+    def __init__(
+        self,
+        profile: GameProfile,
+        seed: int = 0,
+        perf: PerfConfig | None = None,
+        sample_period: float = 1.0,
+    ) -> None:
+        self.profile = profile
+        self.rng = RngRegistry(seed=seed)
+        #: PerfRegistry when ``perf.enabled``, else None — shared by the
+        #: kernel, the network and any backend-specific counters.
+        self.perf = perf.build_registry() if perf is not None else None
+        self.sim = Simulator(perf=self.perf)
+        self.network = Network(
+            self.sim, rng=self.rng.stream("network"), perf=self.perf
+        )
+        self._sample_period = sample_period
+        self.build()
+        self.fleet = ClientFleet(
+            self.sim,
+            self.network,
+            profile,
+            locator=self.locate,
+            rng=self.rng.stream("fleet"),
+        )
+
+    # ------------------------------------------------------------------
+    # The architecture: what each backend must answer
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def build(self) -> None:
+        """Stand up the backend's topology on :attr:`network`."""
+
+    @abstractmethod
+    def locate(self, point: Vec2) -> str:
+        """Ownership: the node name a client at *point* connects to."""
+
+    # ------------------------------------------------------------------
+    # Introspection hooks (sane defaults for game-server topologies)
+    # ------------------------------------------------------------------
+    @property
+    def game_servers(self) -> dict:
+        """name -> handle with ``client_count`` and ``inbox`` (probes)."""
+        return {}
+
+    def probes(self) -> dict[str, Callable[[], float]]:
+        """Per-server client-count and queue-length probes."""
+        out: dict[str, Callable[[], float]] = {}
+        for gs_name, handle in self.game_servers.items():
+            out[f"clients/{gs_name}"] = lambda h=handle: h.client_count
+            out[f"queue/{gs_name}"] = lambda h=handle: h.inbox.length
+        return out
+
+    def dropped_packets(self) -> int:
+        """Packets dropped by saturated receive queues."""
+        return sum(
+            handle.inbox.dropped_count
+            for handle in self.game_servers.values()
+        )
+
+    def servers_used(self) -> int:
+        """Server-class nodes this architecture deployed."""
+        return len(self.game_servers)
+
+    def consistency_metrics(self) -> dict[str, float]:
+        """Backend-specific consistency measurements (after a run)."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> BackendResult:
+        """Run the installed workload and collect the result.
+
+        The sampler is created here — after every workload event is
+        scheduled — so same-timestamp samples observe spawns exactly as
+        they always have (event order is part of determinism).
+        """
+        sampler = Sampler(self.sim, self._sample_period, self.probes)
+        self.sim.run(until=until)
+        clients = {
+            key.removeprefix("clients/"): series
+            for key, series in sampler.series.items()
+            if key.startswith("clients/")
+        }
+        queues = {
+            key.removeprefix("queue/"): series
+            for key, series in sampler.series.items()
+            if key.startswith("queue/")
+        }
+        return BackendResult(
+            profile_name=self.profile.name,
+            duration=until,
+            clients_per_server=clients,
+            queue_per_server=queues,
+            dropped_packets=self.dropped_packets(),
+            action_latencies=self.fleet.all_action_latencies(),
+            switch_latencies=self.fleet.all_switch_latencies(),
+            backend=self.name,
+            servers_used=self.servers_used(),
+            events_processed=self.sim.events_processed,
+            traffic=self.network.stats,
+            consistency=self.consistency_metrics(),
+            perf_snapshot=(
+                self.perf.snapshot() if self.perf is not None else None
+            ),
+        )

@@ -17,9 +17,8 @@ of dynamic repartitioning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.analysis.timeseries import Sampler, TimeSeries
+from repro.baselines.backend import ArchitectureBackend, BackendResult
+from repro.core.config import PerfConfig
 from repro.core.messages import DeliverPacket, SetRange, SpatialPacket
 from repro.games.base import GameServer
 from repro.games.profile import GameProfile
@@ -35,8 +34,6 @@ from repro.net.message import Message
 from repro.net.network import Network, lan_profile, wan_profile
 from repro.net.node import Node, handles
 from repro.sim.kernel import Simulator
-from repro.sim.rng import RngRegistry
-from repro.workload.fleet import ClientFleet
 
 
 class StaticZoneRouter(Node):
@@ -121,26 +118,21 @@ class StaticZoneRouter(Node):
         )
 
 
-@dataclass
-class StaticResult:
-    """Outcome of a static-partitioning run."""
-
-    profile_name: str
-    duration: float
-    clients_per_server: dict[str, TimeSeries]
-    queue_per_server: dict[str, TimeSeries]
-    dropped_packets: int
-    action_latencies: list[float]
-    switch_latencies: list[float]
-
-    def max_queue(self) -> float:
-        """Largest receive-queue sample across the fixed servers."""
-        peaks = [s.max() for s in self.queue_per_server.values() if len(s)]
-        return max(peaks) if peaks else 0.0
+#: Backward-compatible alias: a static run now returns the unified
+#: cross-architecture result type (a strict superset of the old
+#: ``StaticResult`` fields).
+StaticResult = BackendResult
 
 
 class StaticDeployment:
-    """A fixed ``columns x rows`` grid of game servers."""
+    """A fixed ``columns x rows`` grid of game servers.
+
+    The grid wiring is shared by every fixed-tile architecture: the
+    static baseline uses it as-is, and the DHT baseline reuses it with
+    a different *router_prefix* and a *router_factory* that builds
+    :class:`~repro.baselines.dht.DhtZoneRouter`s — so fixes to the
+    tile/directory/colocation wiring apply to both.
+    """
 
     def __init__(
         self,
@@ -150,24 +142,28 @@ class StaticDeployment:
         columns: int = 2,
         rows: int = 1,
         queue_capacity: int | None = 20000,
+        router_prefix: str = "static-ms.",
+        router_factory=None,
     ) -> None:
         self.sim = sim
         self.network = network
         self.profile = profile
+        if router_factory is None:
+            router_factory = StaticZoneRouter
         metric = metric_by_name(profile.metric_name, world=profile.world)
         tiles = tile_world(profile.world, columns, rows)
         zone_ids = [f"zone-{i + 1}" for i in range(len(tiles))]
         partitions = dict(zip(zone_ids, tiles))
         self.game_servers: dict[str, GameServer] = {}
-        self._routers: dict[str, StaticZoneRouter] = {}
+        self.routers: dict[str, StaticZoneRouter] = {}
         router_of = {
-            zone: f"static-ms.{i + 1}" for i, zone in enumerate(zone_ids)
+            zone: f"{router_prefix}{i + 1}" for i, zone in enumerate(zone_ids)
         }
         directory: dict[str, Rect] = {}
 
         network.set_prefix_profile("client.", "gs.", wan_profile())
         network.set_prefix_profile("gs.", "client.", wan_profile())
-        network.set_prefix_profile("static-ms.", "static-ms.", lan_profile())
+        network.set_prefix_profile(router_prefix, router_prefix, lan_profile())
 
         for i, zone in enumerate(zone_ids):
             gs_name = f"gs.{i + 1}"
@@ -186,7 +182,7 @@ class StaticDeployment:
                 zone, partitions, profile.visibility_radius, metric
             )
             table = RegionIndex(partitions[zone], cells)
-            router = StaticZoneRouter(
+            router = router_factory(
                 name=router_name,
                 game_server=gs_name,
                 partition=partitions[zone],
@@ -201,7 +197,7 @@ class StaticDeployment:
             game_server.bind_matrix(router_name, partitions[zone])
             router.announce_range()
             self.game_servers[gs_name] = game_server
-            self._routers[router_name] = router
+            self.routers[router_name] = router
 
     def locate_game_server(self, point: Vec2) -> str:
         """Owner of *point* among the fixed tiles."""
@@ -217,7 +213,7 @@ class StaticDeployment:
         )
 
 
-class StaticExperiment:
+class StaticExperiment(ArchitectureBackend):
     """A ready-to-run static deployment with workload hooks.
 
     The baseline counterpart of
@@ -228,6 +224,8 @@ class StaticExperiment:
     :attr:`fleet` and calls :meth:`run`.
     """
 
+    name = "static"
+
     def __init__(
         self,
         profile: GameProfile,
@@ -235,64 +233,33 @@ class StaticExperiment:
         columns: int = 2,
         rows: int = 1,
         queue_capacity: int | None = 20000,
+        perf: PerfConfig | None = None,
     ) -> None:
-        self.profile = profile
-        self.rng = RngRegistry(seed=seed)
-        self.sim = Simulator()
-        self.network = Network(self.sim, rng=self.rng.stream("network"))
+        self._columns = columns
+        self._rows = rows
+        self._queue_capacity = queue_capacity
+        super().__init__(profile, seed=seed, perf=perf)
+
+    def build(self) -> None:
         self.deployment = StaticDeployment(
             self.sim,
             self.network,
-            profile,
-            columns=columns,
-            rows=rows,
-            queue_capacity=queue_capacity,
-        )
-        self.fleet = ClientFleet(
-            self.sim,
-            self.network,
-            profile,
-            locator=self.deployment.locate_game_server,
-            rng=self.rng.stream("fleet"),
+            self.profile,
+            columns=self._columns,
+            rows=self._rows,
+            queue_capacity=self._queue_capacity,
         )
 
-    def run(self, until: float) -> StaticResult:
-        """Run the installed workload and collect the result.
+    def locate(self, point: Vec2) -> str:
+        """Ownership: the fixed tile containing *point*."""
+        return self.deployment.locate_game_server(point)
 
-        The sampler is created here — after every workload event is
-        scheduled — so same-timestamp samples observe spawns exactly as
-        they always have (event order is part of determinism).
-        """
+    @property
+    def game_servers(self) -> dict[str, GameServer]:
+        return self.deployment.game_servers
 
-        def probes():
-            out = {}
-            for gs_name, handle in self.deployment.game_servers.items():
-                out[f"clients/{gs_name}"] = lambda h=handle: h.client_count
-                out[f"queue/{gs_name}"] = lambda h=handle: h.inbox.length
-            return out
-
-        sampler = Sampler(self.sim, 1.0, probes)
-        self.sim.run(until=until)
-
-        clients = {
-            key.removeprefix("clients/"): series
-            for key, series in sampler.series.items()
-            if key.startswith("clients/")
-        }
-        queues = {
-            key.removeprefix("queue/"): series
-            for key, series in sampler.series.items()
-            if key.startswith("queue/")
-        }
-        return StaticResult(
-            profile_name=self.profile.name,
-            duration=until,
-            clients_per_server=clients,
-            queue_per_server=queues,
-            dropped_packets=self.deployment.dropped_packets(),
-            action_latencies=self.fleet.all_action_latencies(),
-            switch_latencies=self.fleet.all_switch_latencies(),
-        )
+    def dropped_packets(self) -> int:
+        return self.deployment.dropped_packets()
 
 
 def run_static_scenario(
@@ -302,7 +269,7 @@ def run_static_scenario(
     columns: int = 2,
     rows: int = 1,
     queue_capacity: int | None = 20000,
-) -> StaticResult:
+) -> BackendResult:
     """Run any declarative scenario against a static grid."""
     experiment = StaticExperiment(
         profile,
@@ -322,7 +289,7 @@ def run_static_hotspot(
     columns: int = 2,
     rows: int = 1,
     queue_capacity: int | None = 20000,
-) -> StaticResult:
+) -> BackendResult:
     """Run the Fig 2 workload against a static grid (the T-static rows)."""
     from repro.harness.fig2 import fig2_scenario  # local: avoid cycle
 

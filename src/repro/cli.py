@@ -4,9 +4,13 @@ Subcommands:
 
 * ``list-scenarios`` — the registered scenario catalog.
 * ``list-mobility`` — the registered mobility models.
+* ``list-backends`` — the registered architecture backends and their
+  ownership/routing/consistency answers.
 * ``run <scenario>`` — run one scenario on a backend and print a
   summary (``--scale`` shrinks the population *and* the policy
   thresholds/server capacity together, preserving the dynamics).
+* ``compare <scenario>`` — run one scenario on several backends and
+  print the shared-verdict comparison table (the generalised T-static).
 * ``sweep`` — run every registered scenario back to back and print a
   comparison table (the CLI face of the scenario-sweep benchmark).
 * ``perf [scenario]`` — run one scenario with :mod:`repro.perf`
@@ -23,8 +27,12 @@ import time
 from repro.analysis.stats import percentile
 from repro.core.config import LoadPolicyConfig, PerfConfig
 from repro.games.profile import profile_by_name
-from repro.harness.compare import scaled_profile
-from repro.harness.runner import backend_names, run_scenario
+from repro.harness.compare import (
+    compare_backends,
+    format_backends_table,
+    scaled_profile,
+)
+from repro.harness.runner import backend_infos, backend_names, run_scenario
 from repro.harness.sweep import format_sweep_table, sweep_scenarios
 from repro.workload.mobility import list_mobility_models
 from repro.workload.scenarios import build_scenario, scenario_names
@@ -58,6 +66,17 @@ def _print_mobility() -> None:
         print(f"  {name}")
 
 
+def _print_backends() -> None:
+    infos = backend_infos()
+    print(f"{len(infos)} registered architecture backends:\n")
+    for info in infos:
+        print(f"  {info.name} — {info.summary}")
+        print(f"    ownership   : {info.ownership}")
+        print(f"    routing     : {info.routing}")
+        print(f"    consistency : {info.consistency}")
+        print()
+
+
 def _summarize_run(outcome, wall: float) -> None:
     result = outcome.result
     print(f"scenario : {outcome.scenario.name}")
@@ -75,12 +94,18 @@ def _summarize_run(outcome, wall: float) -> None:
         print(f"clients  : peak {result.total_clients.max():.0f}")
         print(f"events   : {result.events_processed}")
     else:
-        servers = len(outcome.experiment.deployment.game_servers)
-        print(f"servers  : {servers} (fixed)")
+        print(f"servers  : {result.servers_used} (fixed)")
+        print(f"events   : {result.events_processed}")
         print(f"dropped  : {result.dropped_packets} packets")
     print(f"queue    : peak {result.max_queue():.0f}")
     print(f"latency  : p50 {p50 * 1000:.1f}ms, p99 {p99 * 1000:.1f}ms "
           f"({len(latencies)} actions)")
+    consistency = getattr(result, "consistency", None)
+    if consistency:
+        rendered = ", ".join(
+            f"{key}={value:g}" for key, value in consistency.items()
+        )
+        print(f"consistency: {rendered}")
 
 
 def _cmd_run(args) -> int:
@@ -157,6 +182,29 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_compare(args) -> int:
+    scenario = build_scenario(args.scenario)
+    backends = (
+        tuple(args.backends.split(",")) if args.backends else None
+    )
+    # compare_backends scales the profile and queue cap itself; only
+    # the Matrix policy needs scaling here.
+    outcomes = compare_backends(
+        scenario,
+        backends=backends,
+        policy=LoadPolicyConfig().scaled(args.scale),
+        seed=args.seed,
+        scale=args.scale,
+        preview=args.duration,
+    )
+    print(
+        f"{scenario.name} on {len(outcomes)} backends "
+        f"(scale={args.scale:g}, seed={args.seed}):"
+    )
+    print(format_backends_table(outcomes))
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     rows = sweep_scenarios(
         args.scale,
@@ -181,6 +229,9 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("list-scenarios", help="show the scenario catalog")
     sub.add_parser("list-mobility", help="show registered mobility models")
+    sub.add_parser(
+        "list-backends", help="show registered architecture backends"
+    )
 
     run_parser = sub.add_parser("run", help="run one registered scenario")
     run_parser.add_argument("scenario", help="registered scenario name")
@@ -193,6 +244,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="truncate the scenario to this many simulated seconds",
+    )
+
+    compare_parser = sub.add_parser(
+        "compare",
+        help="run one scenario on several backends and tabulate verdicts",
+    )
+    compare_parser.add_argument("scenario", help="registered scenario name")
+    compare_parser.add_argument(
+        "--backends", default=None,
+        help="comma-separated backend names (default: all registered)",
+    )
+    compare_parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="population/policy/capacity scale factor (default 0.1)",
+    )
+    compare_parser.add_argument("--seed", type=int, default=0)
+    compare_parser.add_argument(
         "--duration", type=float, default=None,
         help="truncate the scenario to this many simulated seconds",
     )
@@ -230,8 +300,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list-mobility":
         _print_mobility()
         return 0
+    if args.command == "list-backends":
+        _print_backends()
+        return 0
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "perf":

@@ -10,9 +10,13 @@ registered scenario with a backend (Matrix or a baseline), and
 from repro.harness.compare import (
     GameComparison,
     SystemOutcome,
+    Verdict,
     compare_all_games,
+    compare_backends,
     compare_game,
+    format_backends_table,
     format_comparison_table,
+    outcome_for,
 )
 from repro.harness.experiment import (
     ExperimentResult,
@@ -34,6 +38,8 @@ from repro.harness.perfsuite import (
 )
 from repro.harness.runner import (
     ScenarioOutcome,
+    backend_info,
+    backend_infos,
     backend_names,
     run_scenario,
     scenario_backend,
@@ -64,23 +70,29 @@ __all__ = [
     "ScenarioOutcome",
     "SystemOutcome",
     "TransparencyReport",
+    "Verdict",
+    "backend_info",
+    "backend_infos",
     "backend_names",
     "bandwidth_overlap_correlation",
     "compare_all_games",
+    "compare_backends",
     "compare_game",
     "coordinator_overhead",
     "fig2_scenario",
+    "format_backends_table",
     "format_comparison_table",
-    "kernel_comparison",
-    "run_perf_suite",
-    "run_scenario",
-    "scenario_backend",
     "install_fig2_workload",
     "install_fleet_workload",
+    "kernel_comparison",
     "matrix_config_for",
     "measure_bandwidth_vs_overlap",
     "measure_switching_latency",
     "measure_transparency",
     "mini_fig2_policy",
+    "outcome_for",
     "run_fig2",
+    "run_perf_suite",
+    "run_scenario",
+    "scenario_backend",
 ]

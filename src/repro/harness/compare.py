@@ -1,14 +1,17 @@
-"""Matrix vs static partitioning across the three games (§4.1–§4.2).
+"""Cross-architecture comparison on a shared workload (§4.1–§4.2, §5).
 
 "For these three games, we showed that Matrix is able to outperform
 static partitioning schemes when unexpected loads or hotspots occur.
 In particular, Matrix is able to automatically use extra servers to
 handle the load while the static partitioning schemes just fail."
 
-The comparison runs the *same* Fig-2-style hotspot workload (same seed,
-same client waves) against both systems and reports, per game: peak
-receive queue, dropped packets, p99 response latency, and the number of
-servers each system ended up using.
+Built entirely on the unified scenario runner: any registered backend
+(matrix, static, mirrored, p2p, dht) runs the *same* declarative
+scenario (same seed, same client waves) and is graded by the same
+verdict — peak receive queue, dropped packets, p99 response latency,
+servers used.  :func:`compare_game` keeps the paper's original
+Matrix-vs-static table (T-static); :func:`compare_backends` generalises
+it to any backend set and powers ``python -m repro compare``.
 """
 
 from __future__ import annotations
@@ -20,12 +23,13 @@ from repro.analysis.stats import percentile
 from repro.core.config import LoadPolicyConfig
 from repro.games.profile import GameProfile, profile_by_name
 from repro.harness.fig2 import Fig2Schedule, fig2_scenario
-from repro.harness.runner import run_scenario
+from repro.harness.runner import backend_names, run_scenario
+from repro.workload.scenarios import Scenario
 
 
 @dataclass(frozen=True, slots=True)
 class SystemOutcome:
-    """One system's showing on the hotspot workload."""
+    """One system's showing on a shared workload."""
 
     system: str
     peak_queue: float
@@ -69,6 +73,121 @@ def scaled_profile(profile: GameProfile, scale: float) -> GameProfile:
     )
 
 
+@dataclass(frozen=True, slots=True)
+class Verdict:
+    """The shared failure criteria every compared system is graded by.
+
+    A system *fails* when any of these hold:
+
+    * it drops packets (queue cap reached), or
+    * its worst queue exceeds ``queue_fraction`` of the cap (saturated
+      for an extended period instead of absorbing the spike), or
+    * p99 response latency exceeds ``latency_factor`` snapshot periods
+      — gameplay is unplayable even if the queue survives.
+    """
+
+    queue_capacity: int
+    queue_fraction: float
+    latency_bound: float
+
+    def failed(self, peak_queue: float, dropped: int, p99: float) -> bool:
+        """Apply the three §4.2 failure criteria."""
+        return (
+            dropped > 0
+            or peak_queue >= self.queue_fraction * self.queue_capacity
+            or p99 > self.latency_bound
+        )
+
+
+def outcome_for(system: str, result, verdict: Verdict) -> SystemOutcome:
+    """Grade one backend's run result with the shared verdict.
+
+    Works across result shapes: the Matrix
+    :class:`~repro.harness.experiment.ExperimentResult` (dynamic server
+    count, never drops) and the baselines'
+    :class:`~repro.baselines.backend.BackendResult`.
+    """
+    peak_queue = result.max_queue()
+    dropped = getattr(result, "dropped_packets", 0)
+    p99 = _p99(result.action_latencies)
+    servers = getattr(result, "peak_servers_in_use", None)
+    if servers is None:
+        servers = getattr(result, "servers_used", 0)
+    return SystemOutcome(
+        system=system,
+        peak_queue=peak_queue,
+        dropped_packets=dropped,
+        p99_latency=p99,
+        servers_used=servers,
+        failed=verdict.failed(peak_queue, dropped, p99),
+    )
+
+
+def compare_backends(
+    scenario: Scenario | str,
+    backends: tuple[str, ...] | None = None,
+    profile: GameProfile | None = None,
+    policy: LoadPolicyConfig | None = None,
+    seed: int = 0,
+    scale: float = 1.0,
+    preview: float | None = None,
+    queue_capacity: int = 20000,
+    failure_queue_fraction: float = 0.5,
+    failure_latency_factor: float = 4.0,
+    backend_options: dict[str, dict] | None = None,
+) -> list[SystemOutcome]:
+    """Run *scenario* on every backend in *backends*; grade uniformly.
+
+    The default backend set is every registered backend.  ``scale < 1``
+    shrinks the population *and* every capacity knob together — server
+    service rate (see :func:`scaled_profile`), the queue cap, and the
+    p2p backend's consumer-uplink bandwidth — so each architecture's
+    bottleneck scales with its load and the verdicts stay meaningful;
+    the Matrix run additionally receives *policy* (scale it coherently
+    with ``LoadPolicyConfig.scaled``).  *backend_options* adds
+    per-backend keyword options (e.g. ``{"mirrored": {"mirrors": 4}}``).
+    """
+    from repro.baselines.p2p import DEFAULT_UPLINK_BYTES_PER_S
+    if backends is None:
+        backends = tuple(backend_names())
+    if isinstance(scenario, str):
+        from repro.workload.scenarios import build_scenario
+
+        scenario = build_scenario(scenario)
+    if profile is None:
+        profile = profile_by_name(scenario.game)
+    if scale != 1.0:
+        profile = scaled_profile(profile, scale)
+        queue_capacity = max(int(queue_capacity * scale), 100)
+    verdict = Verdict(
+        queue_capacity=queue_capacity,
+        queue_fraction=failure_queue_fraction,
+        latency_bound=failure_latency_factor / profile.snapshot_hz,
+    )
+    outcomes = []
+    for backend in backends:
+        options = dict((backend_options or {}).get(backend, {}))
+        options.setdefault("seed", seed)
+        if backend == "matrix":
+            options.setdefault("policy", policy)
+        else:
+            options.setdefault("queue_capacity", queue_capacity)
+        if backend == "p2p":
+            options.setdefault(
+                "uplink_capacity", DEFAULT_UPLINK_BYTES_PER_S * scale
+            )
+        result = run_scenario(
+            scenario,
+            backend=backend,
+            profile=profile,
+            scale=scale,
+            preview=preview,
+            **options,
+        ).result
+        outcomes.append(outcome_for(backend, result, verdict))
+    return outcomes
+
+
 def compare_game(
     profile: GameProfile,
     schedule: Fig2Schedule,
@@ -83,65 +202,31 @@ def compare_game(
 ) -> GameComparison:
     """Run the hotspot on Matrix and on a static grid; compare.
 
-    A system *fails* when any of these hold:
-
-    * it drops packets (queue cap reached), or
-    * its worst queue exceeds ``failure_queue_fraction`` of the cap
-      (saturated for an extended period instead of absorbing the
-      spike), or
-    * p99 response latency exceeds ``failure_latency_factor`` snapshot
-      periods — gameplay is unplayable even if the queue survives.
-
-    Pass ``scale < 1`` (with a matching schedule/policy) for fast runs;
-    server capacity and the queue cap shrink proportionally.
+    The original T-static pairing, expressed through
+    :func:`compare_backends`.  Pass ``scale < 1`` (with a matching
+    schedule/policy) for fast runs; server capacity and the queue cap
+    shrink proportionally.  The *schedule* is expected to be scaled
+    already (``Fig2Schedule.scaled``), so *scale* here only shrinks
+    capacity — the population is never scaled twice.
     """
     if scale != 1.0:
         profile = scaled_profile(profile, scale)
         queue_capacity = max(int(queue_capacity * scale), 100)
-    latency_bound = failure_latency_factor / profile.snapshot_hz
-
-    def verdict(peak_queue: float, dropped: int, p99: float) -> bool:
-        return (
-            dropped > 0
-            or peak_queue >= failure_queue_fraction * queue_capacity
-            or p99 > latency_bound
-        )
-
-    scenario = fig2_scenario(schedule)
-    matrix_result = run_scenario(
-        scenario, backend="matrix", profile=profile, policy=policy, seed=seed
-    ).result
-    matrix_p99 = _p99(matrix_result.action_latencies)
-    matrix_outcome = SystemOutcome(
-        system="matrix",
-        peak_queue=matrix_result.max_queue(),
-        dropped_packets=0,
-        p99_latency=matrix_p99,
-        servers_used=matrix_result.peak_servers_in_use,
-        failed=verdict(matrix_result.max_queue(), 0, matrix_p99),
-    )
-
-    static_result = run_scenario(
-        scenario,
-        backend="static",
+    matrix_outcome, static_outcome = compare_backends(
+        fig2_scenario(schedule),
+        backends=("matrix", "static"),
         profile=profile,
+        policy=policy,
         seed=seed,
-        columns=static_columns,
-        rows=static_rows,
         queue_capacity=queue_capacity,
-    ).result
-    static_p99 = _p99(static_result.action_latencies)
-    static_outcome = SystemOutcome(
-        system="static",
-        peak_queue=static_result.max_queue(),
-        dropped_packets=static_result.dropped_packets,
-        p99_latency=static_p99,
-        servers_used=static_columns * static_rows,
-        failed=verdict(
-            static_result.max_queue(),
-            static_result.dropped_packets,
-            static_p99,
-        ),
+        failure_queue_fraction=failure_queue_fraction,
+        failure_latency_factor=failure_latency_factor,
+        backend_options={
+            "static": {
+                "columns": static_columns,
+                "rows": static_rows,
+            }
+        },
     )
     return GameComparison(
         game=profile.name, matrix=matrix_outcome, static=static_outcome
@@ -168,6 +253,20 @@ def compare_all_games(
     ]
 
 
+def _outcome_lines(outcomes: list[SystemOutcome], label: str = "") -> list[str]:
+    lines = []
+    for outcome in outcomes:
+        verdict = "FAILS" if outcome.failed else "ok"
+        prefix = f"{label:<10} " if label else ""
+        lines.append(
+            f"{prefix}{outcome.system:<8} "
+            f"{outcome.peak_queue:>12.0f} {outcome.dropped_packets:>9} "
+            f"{outcome.p99_latency:>12.3f} {outcome.servers_used:>8} "
+            f"{verdict:>9}"
+        )
+    return lines
+
+
 def format_comparison_table(rows: list[GameComparison]) -> str:
     """Render the T-static table the way the bench prints it."""
     lines = [
@@ -175,12 +274,15 @@ def format_comparison_table(rows: list[GameComparison]) -> str:
         f"{'p99 lat (s)':>12} {'servers':>8} {'verdict':>9}"
     ]
     for row in rows:
-        for outcome in (row.matrix, row.static):
-            verdict = "FAILS" if outcome.failed else "ok"
-            lines.append(
-                f"{row.game:<10} {outcome.system:<8} "
-                f"{outcome.peak_queue:>12.0f} {outcome.dropped_packets:>9} "
-                f"{outcome.p99_latency:>12.3f} {outcome.servers_used:>8} "
-                f"{verdict:>9}"
-            )
+        lines.extend(_outcome_lines([row.matrix, row.static], label=row.game))
+    return "\n".join(lines)
+
+
+def format_backends_table(outcomes: list[SystemOutcome]) -> str:
+    """Render a multi-backend comparison (``python -m repro compare``)."""
+    lines = [
+        f"{'system':<8} {'peak queue':>12} {'dropped':>9} "
+        f"{'p99 lat (s)':>12} {'servers':>8} {'verdict':>9}"
+    ]
+    lines.extend(_outcome_lines(outcomes))
     return "\n".join(lines)

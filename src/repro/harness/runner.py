@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.baselines.backend import BackendInfo
 from repro.core.config import LoadPolicyConfig, MiddlewareConfig, PerfConfig
 from repro.games.profile import GameProfile, profile_by_name
 from repro.harness.experiment import ExperimentResult, MatrixExperiment
@@ -41,15 +42,24 @@ class ScenarioOutcome:
 
 #: backend name -> runner(scenario, profile, **options) -> (result, experiment)
 _BACKENDS: dict[str, Callable[..., tuple[Any, Any]]] = {}
+#: backend name -> its :class:`~repro.baselines.backend.BackendInfo`.
+_BACKEND_INFO: dict[str, BackendInfo] = {}
 
 
-def scenario_backend(name: str) -> Callable:
-    """Register a backend runner under *name* (decorator)."""
+def scenario_backend(name: str, info: BackendInfo | None = None) -> Callable:
+    """Register a backend runner under *name* (decorator).
+
+    *info* documents the backend's architecture (ownership model,
+    routing strategy, consistency traffic) for ``list-backends`` and
+    the docs table; registering the same name twice raises.
+    """
 
     def decorate(runner: Callable[..., tuple[Any, Any]]):
         if name in _BACKENDS:
             raise ValueError(f"backend already registered: {name!r}")
         _BACKENDS[name] = runner
+        if info is not None:
+            _BACKEND_INFO[name] = info
         return runner
 
     return decorate
@@ -60,7 +70,35 @@ def backend_names() -> list[str]:
     return sorted(_BACKENDS)
 
 
-@scenario_backend("matrix")
+def backend_info(name: str) -> BackendInfo:
+    """The :class:`BackendInfo` registered for *name*."""
+    info = _BACKEND_INFO.get(name)
+    if info is not None:
+        return info
+    if name in _BACKENDS:
+        raise ValueError(
+            f"backend {name!r} was registered without a BackendInfo"
+        )
+    raise ValueError(
+        f"unknown backend {name!r}; known: {backend_names()}"
+    )
+
+
+def backend_infos() -> list[BackendInfo]:
+    """All registered backend infos, sorted by name."""
+    return [_BACKEND_INFO[name] for name in sorted(_BACKEND_INFO)]
+
+
+@scenario_backend(
+    "matrix",
+    info=BackendInfo(
+        name="matrix",
+        ownership="dynamic partitions (split/reclaim on load)",
+        routing="local overlap table, O(1) per packet",
+        consistency="overlap-region forwarding between neighbours",
+        summary="the paper's adaptive middleware",
+    ),
+)
 def _run_matrix(
     scenario: Scenario,
     profile: GameProfile,
@@ -86,7 +124,16 @@ def _run_matrix(
     return experiment.run(until=scenario.duration), experiment
 
 
-@scenario_backend("static")
+@scenario_backend(
+    "static",
+    info=BackendInfo(
+        name="static",
+        ownership="fixed grid tiles, one server each, forever",
+        routing="local overlap table, O(1) per packet",
+        consistency="overlap-region forwarding between fixed tiles",
+        summary="the paper's §4 comparator: no repartitioning",
+    ),
+)
 def _run_static(
     scenario: Scenario,
     profile: GameProfile,
@@ -95,6 +142,7 @@ def _run_static(
     columns: int = 2,
     rows: int = 1,
     queue_capacity: int | None = 20000,
+    perf: PerfConfig | None = None,
 ):
     from repro.baselines.static import StaticExperiment  # local: no cycle
 
@@ -106,6 +154,120 @@ def _run_static(
         columns=columns,
         rows=rows,
         queue_capacity=queue_capacity,
+        perf=perf,
+    )
+    scenario.install(experiment.fleet, profile)
+    return experiment.run(until=scenario.duration), experiment
+
+
+@scenario_backend(
+    "mirrored",
+    info=BackendInfo(
+        name="mirrored",
+        ownership="every mirror owns the whole world; clients round-robin",
+        routing="none: packets terminate on the client's home mirror",
+        consistency="every packet replicated to the other k-1 mirrors",
+        summary="the §5 commercial approach: tightly-coupled mirrors",
+    ),
+)
+def _run_mirrored(
+    scenario: Scenario,
+    profile: GameProfile,
+    *,
+    seed: int = 0,
+    mirrors: int = 3,
+    queue_capacity: int | None = 20000,
+    perf: PerfConfig | None = None,
+):
+    from repro.baselines.mirrored import MirroredExperiment  # local: no cycle
+
+    experiment = MirroredExperiment(
+        profile,
+        seed=seed,
+        mirrors=mirrors,
+        queue_capacity=queue_capacity,
+        perf=perf,
+    )
+    scenario.install(experiment.fleet, profile)
+    return experiment.run(until=scenario.duration), experiment
+
+
+@scenario_backend(
+    "p2p",
+    info=BackendInfo(
+        name="p2p",
+        ownership="none: per-player uplinks, region tiles scope groups",
+        routing="direct member-to-member fan-out within a region group",
+        consistency="per-player upload grows with group_size - 1",
+        summary="the §5 peer-to-peer region groups (Knutsson-style)",
+    ),
+)
+def _run_p2p(
+    scenario: Scenario,
+    profile: GameProfile,
+    *,
+    seed: int = 0,
+    columns: int = 2,
+    rows: int = 2,
+    uplink_capacity: float | None = None,
+    queue_capacity: int | None = 20000,
+    perf: PerfConfig | None = None,
+):
+    from repro.baselines.p2p import (  # local: no cycle
+        DEFAULT_UPLINK_BYTES_PER_S,
+        P2PExperiment,
+    )
+
+    if scenario.grid is not None:
+        columns, rows = scenario.grid
+    experiment = P2PExperiment(
+        profile,
+        seed=seed,
+        columns=columns,
+        rows=rows,
+        uplink_capacity=(
+            uplink_capacity
+            if uplink_capacity is not None
+            else DEFAULT_UPLINK_BYTES_PER_S
+        ),
+        queue_capacity=queue_capacity,
+        perf=perf,
+    )
+    scenario.install(experiment.fleet, profile)
+    return experiment.run(until=scenario.duration), experiment
+
+
+@scenario_backend(
+    "dht",
+    info=BackendInfo(
+        name="dht",
+        ownership="fixed grid tiles, one server each, forever",
+        routing="Chord-style overlay lookup, O(log N) hops per packet",
+        consistency="overlap forwarding plus dht.hop/dht.result chains",
+        summary="the §3.2.4 alternative: DHT lookup instead of tables",
+    ),
+)
+def _run_dht(
+    scenario: Scenario,
+    profile: GameProfile,
+    *,
+    seed: int = 0,
+    columns: int = 4,
+    rows: int = 2,
+    queue_capacity: int | None = 20000,
+    perf: PerfConfig | None = None,
+):
+    from repro.baselines.dht import DhtExperiment  # local: no cycle
+
+    if scenario.grid is not None:
+        columns, rows = scenario.grid
+    experiment = DhtExperiment(
+        profile,
+        seed=seed,
+        columns=columns,
+        rows=rows,
+        queue_capacity=queue_capacity,
+        perf=perf,
     )
     scenario.install(experiment.fleet, profile)
     return experiment.run(until=scenario.duration), experiment

@@ -74,6 +74,19 @@ class TrafficStats:
             if kind.startswith(prefix)
         )
 
+    def kind_messages(self, prefix: str) -> int:
+        """Total messages whose kind starts with *prefix*.
+
+        The architecture backends use this to report their consistency
+        traffic (``mirror.*``, ``p2p.*``, ``dht.*``) without touching
+        the counter internals.
+        """
+        return sum(
+            counter.messages
+            for kind, counter in self.by_kind.items()
+            if kind.startswith(prefix)
+        )
+
     def pair_bytes(self, src: str, dst: str) -> int:
         """Bytes sent from *src* to *dst*."""
         return self.by_pair[(src, dst)].bytes

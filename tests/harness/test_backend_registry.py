@@ -1,0 +1,104 @@
+"""Tests for the architecture-backend registry and its contracts."""
+
+import pytest
+
+from repro.baselines.backend import BackendInfo
+from repro.harness.runner import (
+    _BACKENDS,
+    backend_info,
+    backend_infos,
+    backend_names,
+    run_scenario,
+    scenario_backend,
+)
+from repro.workload.scenarios import ArrivalWave, HotspotWave, MapPoint, Scenario
+
+ALL_BACKENDS = ("dht", "matrix", "mirrored", "p2p", "static")
+
+
+def smoke_scenario() -> Scenario:
+    """A tiny two-phase workload every backend must complete."""
+    return Scenario(
+        name="registry-smoke",
+        description="arrival wave then a small hotspot",
+        duration=12.0,
+        phases=(
+            ArrivalWave(count=8),
+            HotspotWave(
+                count=10,
+                center=MapPoint(0.625, 0.5),
+                at=2.0,
+                group="spike",
+            ),
+        ),
+    )
+
+
+def test_all_architectures_registered():
+    assert set(ALL_BACKENDS) <= set(backend_names())
+
+
+def test_duplicate_registration_raises():
+    taken = backend_names()[0]
+    with pytest.raises(ValueError, match="already registered"):
+
+        @scenario_backend(taken)
+        def shadow(scenario, profile, **options):  # pragma: no cover
+            raise AssertionError("never runs")
+
+
+def test_registration_rollback_after_duplicate():
+    """A rejected duplicate must not clobber the original runner."""
+    before = dict(_BACKENDS)
+    with pytest.raises(ValueError):
+
+        @scenario_backend("matrix")
+        def shadow(scenario, profile, **options):  # pragma: no cover
+            raise AssertionError("never runs")
+
+    assert _BACKENDS == before
+
+
+def test_unknown_backend_error_lists_registered_names():
+    with pytest.raises(ValueError) as excinfo:
+        run_scenario(smoke_scenario(), backend="carrier-pigeon")
+    message = str(excinfo.value)
+    assert "carrier-pigeon" in message
+    for name in ALL_BACKENDS:
+        assert name in message
+
+
+def test_backend_info_for_every_backend():
+    infos = backend_infos()
+    assert {info.name for info in infos} >= set(ALL_BACKENDS)
+    for name in ALL_BACKENDS:
+        info = backend_info(name)
+        assert isinstance(info, BackendInfo)
+        assert info.ownership and info.routing and info.consistency
+
+
+def test_backend_info_unknown_name():
+    with pytest.raises(ValueError, match="morse-code"):
+        backend_info("morse-code")
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_every_backend_completes_smoke_deterministically(backend):
+    """The registry contract: any backend runs any scenario, and two
+    identical runs produce identical traffic (TrafficStats totals and
+    event counts are a strong digest of the whole timeline)."""
+
+    def digest():
+        outcome = run_scenario(smoke_scenario(), backend=backend, seed=5)
+        result = outcome.result
+        return (
+            outcome.experiment.sim.events_processed,
+            result.traffic.total.messages,
+            result.traffic.total.bytes,
+            len(result.action_latencies),
+            sorted(result.traffic.by_kind),
+        )
+
+    first = digest()
+    assert first[0] > 0 and first[1] > 0
+    assert first == digest()
