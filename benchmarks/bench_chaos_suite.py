@@ -1,0 +1,216 @@
+"""Chaos suite — the system's resilience story, measured.
+
+Two grids:
+
+1. **Matrix recovery** — *every* registered scenario runs on the matrix
+   backend with a mid-run Matrix-server crash and a coordinator
+   failover injected on top of whatever faults it already declares.
+   Each run must finish with every crash recovered in finite time, the
+   standby MC promoted, the partition map covering the whole world, and
+   **zero leaked pool hosts** (the pool's free count balances once the
+   dust settles).
+2. **Backend × fault verdicts** — the chaos catalog scenarios run on
+   every architecture backend through the shared compare verdict, so
+   the resilience comparison (who degrades, who fails, who recovers)
+   is graded exactly like the §4.2 capacity comparison.  Crash faults
+   are matrix-only by design: the rivals have no recovery protocol,
+   which is itself the comparison.
+
+Persisted as ``BENCH_chaos_suite.json`` (schema in docs/BENCHMARKS.md).
+"""
+
+from common import (
+    SEED,
+    backend_run_options,
+    game_profile,
+    record,
+    record_json,
+    scaled_policy,
+)
+
+from repro.chaos import ChaosOptions
+from repro.harness.compare import Verdict, outcome_for
+from repro.harness.runner import backend_names, run_scenario
+from repro.workload.scenarios import (
+    CoordinatorCrash,
+    ServerCrash,
+    build_scenario,
+    scenario_names,
+)
+
+#: Chaos runs every scenario twice over; keep the population small.
+CHAOS_SCALE = 0.1
+#: Per-run cap on simulated seconds (faults land well inside it).
+PREVIEW = 90.0
+#: Extra settle time after the scenario ends, so decommission grace
+#: periods and host reboots drain before the leak audit runs.
+SETTLE = 8.0
+
+#: The catalog's chaos scenarios, graded per backend in grid 2.
+FAULT_SCENARIOS = ("crash-during-split", "failover-storm", "lossy-wan")
+
+
+def run_matrix_recovery_grid() -> dict:
+    """Grid 1: every scenario + injected crash & failover, matrix only."""
+    grid = {}
+    policy = scaled_policy(CHAOS_SCALE)
+    for name in scenario_names():
+        scenario = build_scenario(name)
+        horizon = min(scenario.duration, PREVIEW)
+        chaos = ChaosOptions(
+            extra_faults=(
+                ServerCrash(at=horizon * 0.4, victim="busiest"),
+                CoordinatorCrash(at=horizon * 0.55),
+            )
+        )
+        outcome = run_scenario(
+            scenario,
+            backend="matrix",
+            profile=game_profile(scenario.game, CHAOS_SCALE),
+            policy=policy,
+            scale=CHAOS_SCALE,
+            preview=PREVIEW,
+            seed=SEED,
+            chaos=chaos,
+        )
+        experiment = outcome.experiment
+        experiment.sim.run(until=horizon + SETTLE)
+        report = experiment.chaos.report()
+        deployment = experiment.deployment
+        coordinator = deployment.coordinator
+        standby = deployment.standby_coordinator
+        if standby is not None and standby.promoted:
+            coordinator = standby
+        recovery_times = report.recovery_times()
+        injected = [f for f in report.faults if f.status == "injected"]
+        grid[name] = {
+            "faults_injected": len(injected),
+            "faults_skipped": len(report.faults) - len(injected),
+            "crashes_detected": len(report.recoveries),
+            "recovery_times": recovery_times,
+            "max_recovery_time": max(recovery_times, default=0.0),
+            "all_recovered": report.all_recovered(),
+            "mc_promoted_at": report.mc_promoted_at,
+            "packets_lost": report.undeliverable_packets,
+            "client_rejoins": report.client_rejoins,
+            "leaked_hosts": len(report.leaked_hosts),
+            "coverage_ratio": (
+                coordinator.coverage_area()
+                / experiment.profile.world.area
+            ),
+        }
+    return grid
+
+
+def run_backend_fault_grid() -> dict:
+    """Grid 2: the chaos scenarios on every backend, shared verdict."""
+    grid = {}
+    policy = scaled_policy(CHAOS_SCALE)
+    queue_capacity = max(int(20000 * CHAOS_SCALE), 100)
+    for backend in backend_names():
+        grid[backend] = {}
+        for name in FAULT_SCENARIOS:
+            scenario = build_scenario(name)
+            profile = game_profile(scenario.game, CHAOS_SCALE)
+            options = backend_run_options(
+                backend, CHAOS_SCALE, policy, queue_capacity=20000
+            )
+            outcome = run_scenario(
+                scenario,
+                backend=backend,
+                profile=profile,
+                scale=CHAOS_SCALE,
+                preview=PREVIEW,
+                **options,
+            )
+            verdict = Verdict(
+                queue_capacity=queue_capacity,
+                queue_fraction=0.5,
+                latency_bound=4.0 / profile.snapshot_hz,
+            )
+            graded = outcome_for(backend, outcome.result, verdict)
+            report = outcome.experiment.chaos.report()
+            grid[backend][name] = {
+                "verdict": "FAILS" if graded.failed else "ok",
+                "peak_queue": graded.peak_queue,
+                "dropped": graded.dropped_packets,
+                "p99_latency": graded.p99_latency,
+                "packets_lost": report.undeliverable_packets,
+                "link_dropped": report.link_dropped,
+                "link_duplicated": report.link_duplicated,
+                "faults_unsupported": sum(
+                    1 for f in report.faults if f.status == "unsupported"
+                ),
+            }
+    return grid
+
+
+def format_recovery_table(grid: dict) -> str:
+    lines = [
+        f"{'scenario':<22} {'faults':>6} {'crashes':>8} {'max rec (s)':>12} "
+        f"{'mc promo (s)':>13} {'lost':>7} {'rejoins':>8} {'leaked':>7} "
+        f"{'coverage':>9}"
+    ]
+    for name, row in sorted(grid.items()):
+        promoted = row["mc_promoted_at"]
+        lines.append(
+            f"{name:<22} {row['faults_injected']:>6} "
+            f"{row['crashes_detected']:>8} {row['max_recovery_time']:>12.2f} "
+            f"{promoted if promoted is not None else float('nan'):>13.1f} "
+            f"{row['packets_lost']:>7} {row['client_rejoins']:>8} "
+            f"{row['leaked_hosts']:>7} {row['coverage_ratio']:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_fault_grid(grid: dict) -> str:
+    lines = [
+        f"{'backend':<9} {'scenario':<20} {'verdict':>8} {'peak q':>8} "
+        f"{'dropped':>8} {'p99 (s)':>8} {'lost':>7} {'link-drop':>10}"
+    ]
+    for backend in sorted(grid):
+        for name, cell in sorted(grid[backend].items()):
+            lines.append(
+                f"{backend:<9} {name:<20} {cell['verdict']:>8} "
+                f"{cell['peak_queue']:>8.0f} {cell['dropped']:>8} "
+                f"{cell['p99_latency']:>8.3f} {cell['packets_lost']:>7} "
+                f"{cell['link_dropped']:>10}"
+            )
+    return "\n".join(lines)
+
+
+def test_chaos_suite(benchmark):
+    recovery = benchmark.pedantic(
+        run_matrix_recovery_grid, rounds=1, iterations=1
+    )
+    fault_grid = run_backend_fault_grid()
+
+    lines = [
+        f"chaos suite (scale={CHAOS_SCALE:g}, seed={SEED}): every scenario "
+        f"with a server crash + MC failover injected (matrix backend)",
+        format_recovery_table(recovery),
+        "",
+        "backend x fault verdicts (chaos catalog scenarios, shared verdict)",
+        format_fault_grid(fault_grid),
+    ]
+    record("chaos_suite", "\n".join(lines))
+    record_json(
+        "chaos_suite",
+        {"matrix_recovery": recovery, "backend_fault_grid": fault_grid},
+    )
+
+    for name, row in recovery.items():
+        # Every scenario absorbs a crash + failover: finite recovery,
+        # promoted standby, converged coverage, balanced pool.
+        assert row["leaked_hosts"] == 0, f"{name}: pool hosts leaked"
+        assert row["all_recovered"], f"{name}: unrecovered crash"
+        assert row["crashes_detected"] >= 1 or row["faults_skipped"], name
+        for took in row["recovery_times"]:
+            assert 0.0 < took < 60.0, f"{name}: implausible recovery {took}"
+        assert row["mc_promoted_at"] is not None, f"{name}: no MC failover"
+        assert abs(row["coverage_ratio"] - 1.0) < 1e-6, (
+            f"{name}: partition map does not cover the world"
+        )
+    # The matrix backend must survive its own chaos catalog.
+    for name, cell in fault_grid["matrix"].items():
+        assert cell["faults_unsupported"] == 0, name

@@ -109,6 +109,11 @@ class ArchitectureBackend(ABC):
     #: Registered backend name (matches the runner registration).
     name: str = ""
 
+    #: Message kinds that carry this architecture's consistency traffic
+    #: — what a chaos ``LinkDegrade`` faults when the scenario names no
+    #: kinds itself.  Subclasses override to their own wire protocol.
+    fault_kinds: tuple[str, ...] = ("matrix.forward",)
+
     def __init__(
         self,
         profile: GameProfile,
@@ -126,6 +131,9 @@ class ArchitectureBackend(ABC):
             self.sim, rng=self.rng.stream("network"), perf=self.perf
         )
         self._sample_period = sample_period
+        #: The armed :class:`~repro.chaos.ChaosDriver`, or None.  Set
+        #: by the unified runner for scenarios that declare faults.
+        self.chaos = None
         self.build()
         self.fleet = ClientFleet(
             self.sim,
@@ -161,6 +169,15 @@ class ArchitectureBackend(ABC):
             out[f"clients/{gs_name}"] = lambda h=handle: h.client_count
             out[f"queue/{gs_name}"] = lambda h=handle: h.inbox.length
         return out
+
+    def fault_nodes(self) -> list:
+        """Server-class nodes a chaos ``LinkDegrade`` installs stages on.
+
+        Defaults to the game-server handles; backends whose consistency
+        traffic leaves from a different tier (zone routers, mirror
+        gates, player uplinks) override this.
+        """
+        return list(self.game_servers.values())
 
     def dropped_packets(self) -> int:
         """Packets dropped by saturated receive queues."""

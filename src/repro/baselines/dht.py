@@ -281,6 +281,7 @@ class DhtExperiment(ArchitectureBackend):
     """
 
     name = "dht"
+    fault_kinds = ("matrix.forward", "dht.hop", "dht.result")
 
     def __init__(
         self,
@@ -335,6 +336,10 @@ class DhtExperiment(ArchitectureBackend):
     def routers(self) -> dict[str, "DhtZoneRouter"]:
         """The DHT zone routers, keyed by node name."""
         return self.deployment.routers
+
+    def fault_nodes(self) -> list:
+        """Hop chains and forwards travel router-to-router."""
+        return list(self.deployment.routers.values())
 
     def consistency_metrics(self) -> dict[str, float]:
         """Measured overlay costs vs the closed-form expectation."""

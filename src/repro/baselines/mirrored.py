@@ -120,6 +120,7 @@ class MirroredExperiment(ArchitectureBackend):
     """
 
     name = "mirrored"
+    fault_kinds = ("mirror.replicate",)
 
     def __init__(
         self,
@@ -177,6 +178,10 @@ class MirroredExperiment(ArchitectureBackend):
     @property
     def game_servers(self) -> dict[str, GameServer]:
         return self._game_servers
+
+    def fault_nodes(self) -> list:
+        """Replication leaves from the gates: fault those."""
+        return list(self.gates.values())
 
     def consistency_metrics(self) -> dict[str, float]:
         """Measured replication traffic vs the closed-form expectation."""

@@ -341,6 +341,7 @@ class P2PExperiment(ArchitectureBackend):
     """
 
     name = "p2p"
+    fault_kinds = ("p2p.update",)
 
     def __init__(
         self,
@@ -433,6 +434,10 @@ class P2PExperiment(ArchitectureBackend):
             if name in self.uplinks
         ]
         return max(lengths, default=0)
+
+    def fault_nodes(self) -> list:
+        """Fan-out leaves from the player uplinks (present members)."""
+        return list(self.uplinks.values())
 
     def dropped_packets(self) -> int:
         return sum(

@@ -258,6 +258,10 @@ class StaticExperiment(ArchitectureBackend):
     def game_servers(self) -> dict[str, GameServer]:
         return self.deployment.game_servers
 
+    def fault_nodes(self) -> list:
+        """Overlap forwards travel router-to-router: fault the routers."""
+        return list(self.deployment.routers.values())
+
     def dropped_packets(self) -> int:
         return self.deployment.dropped_packets()
 

@@ -1,0 +1,31 @@
+"""The chaos / fault-tolerance layer.
+
+Scenarios declare faults (:class:`~repro.workload.scenarios.ServerCrash`,
+:class:`~repro.workload.scenarios.CoordinatorCrash`,
+:class:`~repro.workload.scenarios.LinkDegrade`,
+:class:`~repro.workload.scenarios.Recovery`) next to their workload
+phases; the :class:`ChaosDriver` here injects them into whichever
+backend runs the scenario and collects a :class:`ChaosReport` — what
+was injected, how long each crashed partition took to recover, what got
+lost on the wire, and whether any pool host leaked.
+
+The unified runner arms a driver automatically for scenarios that
+declare faults (``run_scenario(..., chaos="auto")``); plain scenarios
+never pay for any of it — no watchdogs, no supervisors, no per-client
+liveness checks — which is what keeps fault-free runs event-for-event
+identical to the pre-chaos ones.
+"""
+
+from repro.chaos.driver import (
+    ChaosDriver,
+    ChaosOptions,
+    ChaosReport,
+    FaultRecord,
+)
+
+__all__ = [
+    "ChaosDriver",
+    "ChaosOptions",
+    "ChaosReport",
+    "FaultRecord",
+]

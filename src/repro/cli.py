@@ -106,6 +106,31 @@ def _summarize_run(outcome, wall: float) -> None:
             f"{key}={value:g}" for key, value in consistency.items()
         )
         print(f"consistency: {rendered}")
+    _summarize_chaos(outcome)
+
+
+def _summarize_chaos(outcome) -> None:
+    """Append the fault-injection read-out when chaos was armed."""
+    driver = getattr(outcome.experiment, "chaos", None)
+    if driver is None:
+        return
+    report = driver.report()
+    print("chaos    :")
+    for fault in report.faults:
+        detail = f" ({fault.detail})" if fault.detail else ""
+        print(f"  t={fault.at:>6.1f}s {fault.fault:<18} "
+              f"{fault.status}{detail}")
+    for recovery in report.recoveries:
+        took = recovery.recovery_time
+        took_text = f"{took:.1f}s" if took is not None else "UNRECOVERED"
+        print(f"  {recovery.victim} -> {recovery.replacement or '?'} "
+              f"recovered in {took_text}")
+    if report.mc_promoted_at is not None:
+        print(f"  standby MC promoted at t={report.mc_promoted_at:.1f}s")
+    print(f"  packets lost {report.undeliverable_packets}, "
+          f"link-dropped {report.link_dropped}, "
+          f"client rejoins {report.client_rejoins}, "
+          f"leaked hosts {len(report.leaked_hosts)}")
 
 
 def _cmd_run(args) -> int:
@@ -121,6 +146,7 @@ def _cmd_run(args) -> int:
         profile=profile,
         scale=args.scale,
         preview=args.duration,
+        chaos=False if args.no_faults else "auto",
         **options,
     )
     _summarize_run(outcome, time.perf_counter() - started)
@@ -246,6 +272,10 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument(
         "--duration", type=float, default=None,
         help="truncate the scenario to this many simulated seconds",
+    )
+    run_parser.add_argument(
+        "--no-faults", action="store_true",
+        help="run a chaos scenario with its fault phases disarmed",
     )
 
     compare_parser = sub.add_parser(

@@ -41,6 +41,24 @@ class LoadPolicyConfig:
     #: 0.6 leaves the merged server at most at 60% of the overload
     #: threshold, so a reclaim can never immediately trigger a re-split.
     reclaim_combined_factor: float = 0.6
+    #: Backoff after a *failed* attempt (pool-exhausted split, nacked
+    #: reclaim, chaos abort).  Failures restore the success cooldown
+    #: they would otherwise have consumed and wait this long instead.
+    #: ``None`` reuses the corresponding cooldown, which preserves the
+    #: historical retry timing while still fixing the miscounted stats.
+    failed_attempt_backoff: float | None = None
+
+    def effective_failed_split_backoff(self) -> float:
+        """Seconds a failed split suppresses the next split attempt."""
+        if self.failed_attempt_backoff is not None:
+            return self.failed_attempt_backoff
+        return self.split_cooldown
+
+    def effective_failed_reclaim_backoff(self) -> float:
+        """Seconds a failed reclaim suppresses the next reclaim attempt."""
+        if self.failed_attempt_backoff is not None:
+            return self.failed_attempt_backoff
+        return self.reclaim_cooldown
 
     def scaled(
         self,
@@ -80,6 +98,11 @@ class LoadPolicyConfig:
             raise ValueError("need at least one overload report")
         if not 0.0 < self.reclaim_combined_factor <= 1.0:
             raise ValueError("reclaim_combined_factor must be in (0, 1]")
+        if (
+            self.failed_attempt_backoff is not None
+            and self.failed_attempt_backoff < 0
+        ):
+            raise ValueError("failed_attempt_backoff must be non-negative")
 
 
 @dataclass(slots=True)
@@ -207,6 +230,12 @@ class MatrixConfig:
     pool_acquire_delay: float = 1.0
     #: Fixed startup time of a freshly spawned game+Matrix server pair.
     server_spawn_delay: float = 1.5
+    #: Watchdog for in-flight splits/reclaims: an operation older than
+    #: this is aborted and rolled back (host released, policy backed
+    #: off).  ``None`` disables the watchdogs — the default, because a
+    #: peer can only go silent mid-protocol when faults are injected;
+    #: the chaos driver arms this when it arms a scenario.
+    lifecycle_timeout: float | None = None
     #: Density of transferable map objects (objects per world-area unit).
     map_object_density: float = 0.005
 

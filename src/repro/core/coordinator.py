@@ -243,6 +243,10 @@ class StandbyCoordinator(MatrixCoordinator):
         self._last_sync: float | None = None
         self._monitor = None
         self.promoted = False
+        self.promoted_at: float | None = None
+        #: Called (with this standby) right after promotion — the
+        #: deployment uses it to point future spawns at the new MC.
+        self.on_promote = None
 
     def start_monitoring(self, check_interval: float = 1.0) -> None:
         """Begin watching the primary's sync heartbeats."""
@@ -276,17 +280,33 @@ class StandbyCoordinator(MatrixCoordinator):
         self._promote()
 
     def _promote(self) -> None:
-        """Take over coordination after the primary went silent."""
+        """Take over coordination after the primary went silent.
+
+        The mirrored map is only a *notification list*, not truth: any
+        split or reclaim announced to the primary after its last sync
+        is missing from it, so pushing it back out could overwrite a
+        server's newer partition with a stale one.  Instead the map is
+        rebuilt from scratch: every known server is told to fail over,
+        the failover handler makes each one re-register its current
+        range (and cascade to its children, whom the standby may never
+        have heard of), and each registration recomputes and pushes
+        fresh tables.  The synced version is kept, so every post-
+        promotion push supersedes anything the dead primary sent.
+        """
         self.promoted = True
+        self.promoted_at = self.sim.now
         if self._monitor is not None:
             self._monitor.stop()
-        for ms_name in self._partitions:
+        known = list(self._partitions)
+        self._partitions = {}
+        self._game_server_of = {}
+        self._owner_index = None
+        for ms_name in known:
             self.send(
                 ms_name,
                 "mc.failover",
                 self.name,
                 size_bytes=self._config.wire.control_bytes,
             )
-        # Fresh tables from the mirrored state (version bump included,
-        # so servers accept them over anything the dead primary sent).
-        self._recompute_and_push()
+        if self.on_promote is not None:
+            self.on_promote(self)

@@ -36,9 +36,29 @@ class ServerEvent:
     """One entry of the deployment's lifecycle log."""
 
     time: float
-    kind: str  # "spawn" | "decommission"
+    kind: str  # "spawn" | "decommission" | "crash"
     matrix_server: str
     game_server: str
+
+
+@dataclass(slots=True)
+class CrashRecovery:
+    """Audit trail of one crashed pair's supervised recovery."""
+
+    victim: str
+    crashed_at: float
+    detected_at: float
+    #: When the replacement pair registered its partition (None while
+    #: the respawn is still pending, e.g. the pool was empty).
+    restored_at: float | None = None
+    replacement: str | None = None
+
+    @property
+    def recovery_time(self) -> float | None:
+        """Crash-to-reregistration latency (None = not yet recovered)."""
+        if self.restored_at is None:
+            return None
+        return self.restored_at - self.crashed_at
 
 
 class MatrixDeployment:
@@ -64,6 +84,7 @@ class MatrixDeployment:
         )
         self.coordinator = MatrixCoordinator(config)
         network.add_node(self.coordinator)
+        self._coordinator_name = self.coordinator.name
         self.standby_coordinator: StandbyCoordinator | None = None
         if replicated_mc:
             self.standby_coordinator = StandbyCoordinator(
@@ -73,10 +94,32 @@ class MatrixDeployment:
             network.set_prefix_profile("mc", "mc", lan_profile())
             self.coordinator.start_replication(self.standby_coordinator.name)
             self.standby_coordinator.start_monitoring()
+            self.standby_coordinator.on_promote = self._on_mc_promoted
         self.matrix_servers: dict[str, MatrixServer] = {}
         self.game_servers: dict[str, GameServerHandle] = {}
         self.events: list[ServerEvent] = []
         self._pair_counter = 0
+        # --- crash supervision (armed by the chaos driver) -----------
+        #: Hooks run on every freshly created pair (chaos uses this to
+        #: keep fault-injection stages installed on late spawns).
+        self.pair_created_hooks: list[Callable[[MatrixServer], None]] = []
+        #: Hook run when a crashed pair's replacement re-registers.
+        self.on_recovery: Callable[[CrashRecovery], None] | None = None
+        #: Hook run when the standby MC promotes itself.
+        self.on_failover: Callable[[StandbyCoordinator], None] | None = None
+        self.crash_recoveries: list[CrashRecovery] = []
+        self._supervisor_task = None
+        self._host_reboot_delay = 2.0
+        #: Corpses awaiting autopsy, with announced-ness decided at
+        #: crash time (the MC map is unreliable mid-failover).
+        self._corpses: list[tuple[MatrixServer, bool]] = []
+        #: Every corpse ever, by name — a child crashing after its
+        #: parent still needs the parent's in-flight-split state.
+        self._crashed_index: dict[str, MatrixServer] = {}
+        #: Respawns blocked on an exhausted pool, retried per sweep.
+        self._respawn_queue: list[tuple[MatrixServer, CrashRecovery]] = []
+        self._pending_spawns: dict[str, list] = {}
+        self._pending_releases: set[str] = set()
         self._install_profiles()
 
     def fail_coordinator(self) -> None:
@@ -89,6 +132,24 @@ class MatrixDeployment:
         """
         self.coordinator.shutdown()
         self.network.remove_node(self.coordinator.name)
+
+    def _on_mc_promoted(self, standby: StandbyCoordinator) -> None:
+        """The standby took over: re-point the fabric at it.
+
+        Future spawns (split children, crash replacements) register
+        with the new MC, and — since the standby only notifies the
+        servers its last sync knew — the fabric sweeps every *live*
+        server onto the new coordinator too.  Servers the wire-level
+        failover also reaches ignore the duplicate (the handler is
+        idempotent); servers the standby never heard of (crash
+        replacements registered while the primary was already dead)
+        are exactly the ones this sweep saves.
+        """
+        self._coordinator_name = standby.name
+        for server in list(self.matrix_servers.values()):
+            server.follow_coordinator(standby.name)
+        if self.on_failover is not None:
+            self.on_failover(standby)
 
     def _install_profiles(self) -> None:
         net = self.network
@@ -145,6 +206,7 @@ class MatrixDeployment:
             partition=partition,
             parent=parent,
             host_id=host_id,
+            coordinator=self._coordinator_name,
         )
         self.network.add_node(matrix_server)
         install_middleware(matrix_server, self.config)
@@ -155,6 +217,8 @@ class MatrixDeployment:
         self.events.append(
             ServerEvent(self.sim.now, "spawn", ms_name, gs_name)
         )
+        for hook in self.pair_created_hooks:
+            hook(matrix_server)
         return matrix_server, game_server
 
     # ------------------------------------------------------------------
@@ -164,6 +228,10 @@ class MatrixDeployment:
         """Delegate to the server pool (the 'non-Matrix external entity')."""
         self.pool.try_acquire(callback)
 
+    def release_host(self, host_id: str) -> None:
+        """Return an acquired-but-unused host (cancelled-split paths)."""
+        self.pool.release(host_id)
+
     def spawn_pair(
         self,
         host_id: str,
@@ -171,30 +239,53 @@ class MatrixDeployment:
         parent: str,
         callback: Callable[[str, str], None],
     ) -> None:
-        """Boot a new Matrix+game server pair after the spawn delay."""
+        """Boot a new Matrix+game server pair after the spawn delay.
+
+        The boot event is tracked per parent so that a parent crashing
+        mid-split takes its half-born child down with it instead of
+        leaving a zombie callback into the dead server.
+        """
 
         def create() -> None:
+            pending = self._pending_spawns.get(parent)
+            if pending is not None and event in pending:
+                pending.remove(event)
             ms, gs = self._create_pair(partition, parent=parent, host_id=host_id)
             callback(ms.name, gs.name)
 
-        self.sim.after(self.config.server_spawn_delay, create)
+        event = self.sim.after(self.config.server_spawn_delay, create)
+        self._pending_spawns.setdefault(parent, []).append(event)
 
-    def decommission_pair(self, matrix_name: str, host_id: str) -> None:
+    def decommission_pair(
+        self, matrix_name: str, host_id: str | None
+    ) -> None:
         """Remove a reclaimed pair and return its host to the pool.
 
         A short grace period lets straggler in-flight messages drain
-        into the void instead of a dead handler.
+        into the void instead of a dead handler.  ``host_id=None``
+        frees the host the pair was spawned on (cancelled-split
+        cleanup, which may not hold the original id any more).
         """
         matrix_server = self.matrix_servers.get(matrix_name)
         if matrix_server is None:
             return
+        if host_id is None:
+            host_id = matrix_server.host_id
         gs_name = matrix_server.game_server
+        self._pending_releases.add(host_id)
 
         def remove() -> None:
             self.network.remove_node(matrix_name)
             self.network.remove_node(gs_name)
             self.matrix_servers.pop(matrix_name, None)
-            self.game_servers.pop(gs_name, None)
+            game_server = self.game_servers.pop(gs_name, None)
+            # Normally already stopped by the evacuation; cancelled
+            # splits tear down a pair that never evacuated.  Test
+            # doubles without periodic duties have no shutdown.
+            stop = getattr(game_server, "shutdown", None)
+            if stop is not None:
+                stop()
+            self._pending_releases.discard(host_id)
             self.pool.release(host_id)
 
         self.events.append(
@@ -208,6 +299,217 @@ class MatrixDeployment:
         if handle is None:
             return []
         return handle.client_positions()
+
+    # ------------------------------------------------------------------
+    # Crash injection and supervised recovery (chaos layer)
+    # ------------------------------------------------------------------
+    def crash_pair(self, matrix_name: str) -> bool:
+        """Kill a Matrix+game server pair abruptly (no cleanup runs).
+
+        Unlike :meth:`decommission_pair` nothing is handed off: clients
+        are orphaned, in-flight protocol exchanges hang, and the pair's
+        pool lease dangles until the host supervisor (see
+        :meth:`enable_crash_recovery`) autopsies the corpse.  Returns
+        False when *matrix_name* is not a live server.
+        """
+        matrix_server = self.matrix_servers.pop(matrix_name, None)
+        if matrix_server is None:
+            return False
+        gs_name = matrix_server.game_server
+        game_server = self.game_servers.pop(gs_name, None)
+        # The host died: everything scheduled on it dies with it —
+        # periodic duties, queued-but-unserviced messages, and the
+        # boot of any child pair this server was spawning.
+        stop = getattr(game_server, "shutdown", None)
+        if stop is not None:
+            stop()
+        matrix_server.inbox.halt()
+        matrix_server.lifecycle.halt()
+        if game_server is not None:
+            game_server.inbox.halt()
+        for event in self._pending_spawns.pop(matrix_name, []):
+            self.sim.cancel(event)
+        self.network.remove_node(matrix_name)
+        self.network.remove_node(gs_name)
+        self.events.append(
+            ServerEvent(self.sim.now, "crash", matrix_name, gs_name)
+        )
+        self._crashed_index[matrix_name] = matrix_server
+        self._corpses.append(
+            (matrix_server, self._was_announced(matrix_server))
+        )
+        return True
+
+    def enable_crash_recovery(
+        self,
+        check_interval: float = 0.5,
+        host_reboot_delay: float = 2.0,
+    ) -> None:
+        """Arm the host supervisor (the pool's 'non-Matrix entity').
+
+        Every *check_interval* seconds it sweeps for crashed pairs and,
+        for each one found: reclaims the leases the dead server held
+        (its own host after *host_reboot_delay*, plus any half-finished
+        split's host or unannounced child pair), then acquires a fresh
+        host and respawns a replacement over the dead partition, which
+        unregisters the victim and re-registers with the current MC.
+        Never armed by default — plain runs have no crashes to detect
+        and must stay event-for-event identical.
+        """
+        self._host_reboot_delay = host_reboot_delay
+        if self._supervisor_task is None:
+            self._supervisor_task = self.sim.every(
+                check_interval, self._supervise
+            )
+
+    def _supervise(self) -> None:
+        # Respawns waiting out an exhausted pool retry first (their
+        # lease reclamation already ran at detection time).
+        retries, self._respawn_queue = self._respawn_queue, []
+        for corpse, record in retries:
+            self.pool.try_acquire(
+                lambda host_id, c=corpse, r=record: self._respawn(
+                    c, r, host_id
+                )
+            )
+        corpses, self._corpses = self._corpses, []
+        for corpse, announced in corpses:
+            self._recover(corpse, announced, detected_at=self.sim.now)
+
+    def _was_announced(self, corpse: MatrixServer) -> bool:
+        """Did the MC ever learn this server owned its partition?
+
+        A child spawned by an in-flight split is announced only when
+        the parent's ``mc.split`` fires after the state transfer; a
+        child that crashes before that owns nothing — respawning it
+        would double-cover the parent's still-unshrunk partition.
+        Decided from the parent's lifecycle state (live or itself a
+        corpse) rather than the MC map, which is empty mid-failover
+        while the promoted standby rebuilds from re-registrations.
+        """
+        parent_name = corpse.ctx.parent
+        if parent_name is None:
+            return True  # roots register at bootstrap
+        parent = self.matrix_servers.get(
+            parent_name
+        ) or self._crashed_index.get(parent_name)
+        if parent is not None:
+            pending = parent.lifecycle.in_flight_child
+            if pending is not None and pending[0] == corpse.name:
+                return False  # mid-split child, never announced
+        return True
+
+    def _recover(
+        self, corpse: MatrixServer, announced: bool, detected_at: float
+    ) -> None:
+        # Reclaim the leases the dead server held.
+        lifecycle = corpse.lifecycle
+        pending_child = lifecycle.in_flight_child
+        pending_host = lifecycle.in_flight_host
+        if pending_child is not None and pending_child[0] in self.matrix_servers:
+            # Spawned but never announced to the MC: a pure orphan.
+            self.decommission_pair(pending_child[0], pending_host)
+        elif pending_host is not None:
+            self.pool.release(pending_host)
+        own_host = corpse.host_id
+        if own_host in self.pool.issued:
+            self._pending_releases.add(own_host)
+
+            def reboot(host_id: str = own_host) -> None:
+                self._pending_releases.discard(host_id)
+                self.pool.release(host_id)
+
+            self.sim.after(self._host_reboot_delay, reboot)
+        if not announced:
+            # The corpse owned no announced partition; its parent's
+            # split watchdog aborts and keeps the whole range, so a
+            # respawn here would double-cover it.  Leases are already
+            # reclaimed above — nothing to restore.
+            return
+        crashed_at = next(
+            event.time
+            for event in reversed(self.events)
+            if event.kind == "crash" and event.matrix_server == corpse.name
+        )
+        record = CrashRecovery(
+            victim=corpse.name,
+            crashed_at=crashed_at,
+            detected_at=detected_at,
+        )
+        self.crash_recoveries.append(record)
+        # Respawn a replacement over the dead partition.
+        self.pool.try_acquire(
+            lambda host_id: self._respawn(corpse, record, host_id)
+        )
+
+    def _respawn(
+        self,
+        corpse: MatrixServer,
+        record: CrashRecovery,
+        host_id: str | None,
+    ) -> None:
+        if host_id is None:
+            # Pool empty right now: retry the respawn on a later sweep
+            # (reclamation already ran; the record stays unrecovered
+            # until a host frees up).
+            self._respawn_queue.append((corpse, record))
+            return
+
+        def boot() -> None:
+            ctx = corpse.ctx
+            replacement, _ = self._create_pair(
+                ctx.partition, parent=ctx.parent, host_id=host_id
+            )
+            # Adopt the dead server's children so reclaims keep working.
+            for child in ctx.children:
+                replacement.ctx.children.append(child)
+                live_child = self.matrix_servers.get(child.matrix_name)
+                if live_child is not None:
+                    live_child.ctx.parent = replacement.name
+            replacement.ctx.child_loads.update(ctx.child_loads)
+            # And fix the victim's own parent's bookkeeping.
+            parent = (
+                self.matrix_servers.get(ctx.parent) if ctx.parent else None
+            )
+            if parent is not None:
+                for sibling in parent.ctx.children:
+                    if sibling.matrix_name == corpse.name:
+                        sibling.matrix_name = replacement.name
+                        sibling.game_server = replacement.game_server
+                        sibling.host_id = host_id
+            # Re-register the partition with whichever MC is current.
+            from repro.core.messages import UnregisterServer
+
+            replacement.ctx.control_send(
+                self._coordinator_name,
+                "mc.unregister",
+                UnregisterServer(matrix_server=corpse.name),
+            )
+            replacement.register_with_coordinator()
+            record.restored_at = self.sim.now
+            record.replacement = replacement.name
+            if self.on_recovery is not None:
+                self.on_recovery(record)
+
+        self.sim.after(self.config.server_spawn_delay, boot)
+
+    def unaccounted_hosts(self) -> list[str]:
+        """Issued pool hosts no live owner can explain (leak audit).
+
+        Accounted-for hosts: those of live pairs, those held by a
+        still-in-flight split, and those in a release grace window
+        (decommission drain, crashed-host reboot).  Anything else
+        leaked.  Run this after the simulation has settled — mid-flight
+        it reports transient holds, not leaks.
+        """
+        held: set[str] = set(self._pending_releases)
+        held |= self.pool.provisioning
+        for server in self.matrix_servers.values():
+            held.add(server.host_id)
+            in_flight = server.lifecycle.in_flight_host
+            if in_flight is not None:
+                held.add(in_flight)
+        return sorted(self.pool.issued - held)
 
     # ------------------------------------------------------------------
     # Lobby / directory services (used by workload generators)

@@ -49,8 +49,17 @@ class LoadPolicy:
         self._consecutive_underloads = 0
         self._last_split_at = float("-inf")
         self._last_reclaim_at = float("-inf")
+        self._last_failed_split_at = float("-inf")
+        self._last_failed_reclaim_at = float("-inf")
+        # Pre-attempt cooldown stamps, restored if the attempt fails
+        # (a pool-exhausted split or a nacked reclaim must not consume
+        # the success cooldown — it gets the failed-attempt backoff).
+        self._split_stamp_before_attempt: float | None = None
+        self._reclaim_stamp_before_attempt: float | None = None
         self._splits = 0
         self._reclaims = 0
+        self._failed_splits = 0
+        self._failed_reclaims = 0
 
     @property
     def config(self) -> LoadPolicyConfig:
@@ -59,13 +68,23 @@ class LoadPolicy:
 
     @property
     def split_count(self) -> int:
-        """Splits this policy has authorised."""
+        """Splits that actually completed (failed attempts excluded)."""
         return self._splits
 
     @property
     def reclaim_count(self) -> int:
-        """Reclaims this policy has authorised."""
+        """Reclaims that actually completed (nacked attempts excluded)."""
         return self._reclaims
+
+    @property
+    def failed_split_count(self) -> int:
+        """Split attempts that failed (pool exhausted, aborted)."""
+        return self._failed_splits
+
+    @property
+    def failed_reclaim_count(self) -> int:
+        """Reclaim attempts that failed (nacked, timed out)."""
+        return self._failed_reclaims
 
     # ------------------------------------------------------------------
     # Classification helpers
@@ -121,6 +140,8 @@ class LoadPolicy:
         if (
             self._consecutive_overloads >= config.consecutive_overload_reports
             and now - self._last_split_at >= config.split_cooldown
+            and now - self._last_failed_split_at
+            >= config.effective_failed_split_backoff()
         ):
             return Decision.SPLIT
 
@@ -130,6 +151,8 @@ class LoadPolicy:
             >= config.consecutive_underload_reports
             and now - youngest_child.born_at >= config.min_child_lifetime
             and now - self._last_reclaim_at >= config.reclaim_cooldown
+            and now - self._last_failed_reclaim_at
+            >= config.effective_failed_reclaim_backoff()
         ):
             return Decision.RECLAIM
 
@@ -138,14 +161,58 @@ class LoadPolicy:
     # ------------------------------------------------------------------
     # Feedback from the server
     # ------------------------------------------------------------------
-    def note_split(self, now: float) -> None:
-        """Record that a split was initiated at *now*."""
-        self._splits += 1
+    # The lifecycle reports each split/reclaim in two halves: an
+    # *attempt* when it starts (stamps the cooldown, damps further
+    # decisions while in flight) and a *success*/*failure* when the
+    # outcome is known.  A failure restores the pre-attempt cooldown
+    # stamp — a pool-exhausted split or a nacked reclaim must not
+    # consume the success cooldown or inflate the counters — and starts
+    # the distinct failed-attempt backoff instead.
+
+    def note_split_attempt(self, now: float) -> None:
+        """A split was initiated at *now* (outcome not yet known)."""
+        self._split_stamp_before_attempt = self._last_split_at
         self._last_split_at = now
         self._consecutive_overloads = 0
 
-    def note_reclaim(self, now: float) -> None:
-        """Record that a reclaim was initiated at *now*."""
-        self._reclaims += 1
+    def note_split_success(self) -> None:
+        """The in-flight split completed: count it, keep its cooldown."""
+        self._splits += 1
+        self._split_stamp_before_attempt = None
+
+    def note_split_failure(self, now: float) -> None:
+        """The in-flight split failed: restore the cooldown, back off."""
+        if self._split_stamp_before_attempt is not None:
+            self._last_split_at = self._split_stamp_before_attempt
+            self._split_stamp_before_attempt = None
+        self._last_failed_split_at = now
+        self._failed_splits += 1
+
+    def note_reclaim_attempt(self, now: float) -> None:
+        """A reclaim was initiated at *now* (outcome not yet known)."""
+        self._reclaim_stamp_before_attempt = self._last_reclaim_at
         self._last_reclaim_at = now
         self._consecutive_underloads = 0
+
+    def note_reclaim_success(self) -> None:
+        """The in-flight reclaim was acked: count it, keep its cooldown."""
+        self._reclaims += 1
+        self._reclaim_stamp_before_attempt = None
+
+    def note_reclaim_failure(self, now: float) -> None:
+        """The in-flight reclaim was nacked/aborted: restore and back off."""
+        if self._reclaim_stamp_before_attempt is not None:
+            self._last_reclaim_at = self._reclaim_stamp_before_attempt
+            self._reclaim_stamp_before_attempt = None
+        self._last_failed_reclaim_at = now
+        self._failed_reclaims += 1
+
+    def note_split(self, now: float) -> None:
+        """Record an immediately successful split (attempt + success)."""
+        self.note_split_attempt(now)
+        self.note_split_success()
+
+    def note_reclaim(self, now: float) -> None:
+        """Record an immediately successful reclaim (attempt + success)."""
+        self.note_reclaim_attempt(now)
+        self.note_reclaim_success()

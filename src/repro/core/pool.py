@@ -33,6 +33,9 @@ class ServerPool:
         self._acquire_delay = acquire_delay
         self._next_host = 0
         self._issued: set[str] = set()
+        #: Reserved hosts whose provisioning callback has not fired yet
+        #: (they belong to nobody until it does — leak audits skip them).
+        self._provisioning: set[str] = set()
         self.acquire_attempts = 0
         self.acquire_failures = 0
 
@@ -51,6 +54,16 @@ class ServerPool:
         """Hosts currently handed out."""
         return self._capacity - self._available
 
+    @property
+    def issued(self) -> frozenset[str]:
+        """Ids of hosts currently handed out (leak audits)."""
+        return frozenset(self._issued)
+
+    @property
+    def provisioning(self) -> frozenset[str]:
+        """Reserved hosts still inside their provisioning delay."""
+        return frozenset(self._provisioning)
+
     def try_acquire(self, callback: Callable[[str | None], None]) -> bool:
         """Request a host; *callback* fires with a host id or ``None``.
 
@@ -68,7 +81,13 @@ class ServerPool:
         self._next_host += 1
         host_id = f"host-{self._next_host}"
         self._issued.add(host_id)
-        self._sim.after(self._acquire_delay, lambda: callback(host_id))
+        self._provisioning.add(host_id)
+
+        def deliver() -> None:
+            self._provisioning.discard(host_id)
+            callback(host_id)
+
+        self._sim.after(self._acquire_delay, deliver)
         return True
 
     def release(self, host_id: str) -> bool:
@@ -83,5 +102,6 @@ class ServerPool:
         if self._available >= self._capacity:
             raise RuntimeError("release would exceed pool capacity")
         self._issued.discard(host_id)
+        self._provisioning.discard(host_id)
         self._available += 1
         return True

@@ -43,6 +43,7 @@ class ServerStats:
     misrouted_packets: int = 0
     local_only_packets: int = 0
     failed_splits: int = 0
+    failed_reclaims: int = 0
     splits_completed: int = 0
     reclaims_completed: int = 0
 

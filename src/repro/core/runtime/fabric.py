@@ -18,11 +18,18 @@ class Fabric(Protocol):
     def acquire_host(self, callback) -> None:
         """Request a spare host; callback gets a host id or ``None``."""
 
+    def release_host(self, host_id: str) -> None:
+        """Return an acquired-but-unused host (cancelled split paths)."""
+
     def spawn_pair(self, host_id: str, partition: Rect, parent: str, callback) -> None:
         """Create a Matrix+game server pair; callback gets (ms, gs) names."""
 
-    def decommission_pair(self, matrix_name: str, host_id: str) -> None:
-        """Remove a reclaimed pair from the network, free its host."""
+    def decommission_pair(self, matrix_name: str, host_id: str | None) -> None:
+        """Remove a reclaimed pair from the network, free its host.
+
+        ``host_id=None`` frees whichever host the pair was spawned on
+        (used by cancelled-split cleanup, which may no longer hold the
+        id it originally passed to :meth:`spawn_pair`)."""
 
     def client_positions(self, game_server: str) -> Sequence[Vec2]:
         """Positions of the clients on *game_server* (split-time only)."""

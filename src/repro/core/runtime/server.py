@@ -196,6 +196,10 @@ class MatrixServer(Node):
         return self.ctx.stats.failed_splits
 
     @property
+    def failed_reclaims(self) -> int:
+        return self.ctx.stats.failed_reclaims
+
+    @property
     def splits_completed(self) -> int:
         return self.ctx.stats.splits_completed
 
@@ -235,8 +239,26 @@ class MatrixServer(Node):
 
     @handles("mc.failover")
     def _on_failover(self, message: Message) -> None:
-        # A standby coordinator promoted itself; follow it.
-        self.ctx.coordinator = message.payload
+        self.follow_coordinator(message.payload)
+
+    def follow_coordinator(self, new_coordinator: str) -> None:
+        """Switch to a promoted standby MC and help it converge.
+
+        The standby rebuilds its map from re-registrations (its mirror
+        may predate recent splits), so on first notice this server
+        re-announces its current range and cascades the failover down
+        to its children — whom the standby may never have heard of.
+        Duplicate notices (fabric sweep + wire-level failover + parent
+        cascade) are ignored.
+        """
+        if self.ctx.coordinator == new_coordinator:
+            return
+        self.ctx.coordinator = new_coordinator
+        self.register_with_coordinator()
+        for child in self.ctx.children:
+            self.ctx.control_send(
+                child.matrix_name, "mc.failover", new_coordinator
+            )
 
     @handles("matrix.load")
     def _on_load_report(self, message: Message) -> None:
@@ -269,6 +291,10 @@ class MatrixServer(Node):
     @handles("matrix.ctl.reclaim_ack")
     def _on_reclaim_ack(self, message: Message) -> None:
         self.lifecycle.on_reclaim_ack(message)
+
+    @handles("matrix.ctl.reclaim_abort")
+    def _on_reclaim_abort(self, message: Message) -> None:
+        self.lifecycle.on_reclaim_abort(message)
 
     @handles("matrix.state.begin")
     def _on_state_begin(self, message: Message) -> None:

@@ -81,6 +81,22 @@ class StateTransfer:
                 size_bytes=chunk_bytes,
             )
 
+    def cancel(self, context: str) -> int:
+        """Forget every outgoing *context* transfer (abort path).
+
+        A ``StateDone`` for a cancelled transfer finds no record, so the
+        completion callback never fires — completions are no-ops after
+        an abort.  Returns the number of transfers cancelled.
+        """
+        stale = [
+            transfer_id
+            for transfer_id, transfer_context in self._outgoing.items()
+            if transfer_context == context
+        ]
+        for transfer_id in stale:
+            del self._outgoing[transfer_id]
+        return len(stale)
+
     def on_done(self, message: Message) -> None:
         """The receiver confirmed completion: fire the context callback."""
         done: StateDone = message.payload

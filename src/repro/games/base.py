@@ -38,7 +38,9 @@ from repro.net.message import Message
 from repro.net.node import Node, handles
 
 #: Control-plane message kinds that jump the game server's data queue.
-CONTROL_KINDS = frozenset({"gs.set_range", "gs.evacuate", "gs.query_reply"})
+CONTROL_KINDS = frozenset(
+    {"gs.set_range", "gs.evacuate", "gs.resume", "gs.query_reply"}
+)
 
 
 class MobilityModel(Protocol):
@@ -125,12 +127,27 @@ class GameServer(Node):
         """Attach to Matrix and start periodic duties."""
         self.port.bind(matrix_name)
         self._range = partition
+        self._start_duties()
+
+    def _start_duties(self) -> None:
         self._tasks.append(
             self.sim.every(self._report_interval, self._report_load)
         )
         self._tasks.append(
             self.sim.every(1.0 / self._profile.snapshot_hz, self._snapshot_tick)
         )
+
+    def resume_duties(self) -> None:
+        """Restart periodic duties after an aborted evacuation.
+
+        A reclaim evacuates the clients and shuts the server down; if
+        the reclaiming parent then vanishes (crash, chaos), Matrix
+        cancels the reclaim and this server must serve its partition
+        again.  No-op while duties are already running.
+        """
+        if self._tasks:
+            return
+        self._start_duties()
 
     @property
     def map_range(self) -> Rect:
@@ -158,6 +175,10 @@ class GameServer(Node):
     @handles("gs.evacuate")
     def _on_evacuate(self, message: Message) -> None:
         self._evacuate_all(message.payload)
+
+    @handles("gs.resume")
+    def _on_resume(self, message: Message) -> None:
+        self.resume_duties()
 
     @handles("client.hello")
     def _on_client_hello(self, message: Message) -> None:
@@ -357,6 +378,7 @@ class GameClient(Node):
         rng,
         relocate: Callable[[Vec2], str] | None = None,
         switch_timeout: float = 5.0,
+        rejoin_timeout: float | None = None,
     ) -> None:
         super().__init__(name)
         self._profile = profile
@@ -364,6 +386,13 @@ class GameClient(Node):
         self._rng = rng
         self._relocate = relocate
         self._switch_timeout = switch_timeout
+        # Dead-server detection: with *rejoin_timeout* set, a snapshot
+        # silence longer than that makes the client relocate and rejoin
+        # (its server crashed).  Off by default — the check rides the
+        # existing update tick, but plain runs must not even look.
+        self._rejoin_timeout = rejoin_timeout
+        self._last_snapshot_at = 0.0
+        self.rejoins = 0
         self._server: str | None = None
         self._pending: str | None = None
         self._switch_started: float | None = None
@@ -395,6 +424,14 @@ class GameClient(Node):
         """The mobility model steering this client."""
         return self._mobility
 
+    def enable_rejoin(self, timeout: float) -> None:
+        """Arm dead-server detection: after *timeout* seconds of
+        snapshot silence the client relocates and rejoins (chaos runs;
+        see :meth:`_rejoin`)."""
+        if timeout <= 0:
+            raise ValueError(f"rejoin timeout must be positive: {timeout}")
+        self._rejoin_timeout = timeout
+
     def retarget(self, target: Vec2) -> bool:
         """Ask the mobility model to head toward *target*.
 
@@ -425,6 +462,7 @@ class GameClient(Node):
     def join(self, game_server: str, position: Vec2) -> None:
         """Connect to *game_server* at *position*."""
         self._position = position
+        self._last_snapshot_at = self.sim.now
         hello = Hello(client_id=self.name, position=position, switching=False)
         self.send(game_server, "client.hello", hello,
                   size_bytes=self._profile.hello_bytes)
@@ -484,6 +522,20 @@ class GameClient(Node):
                   size_bytes=self._profile.hello_bytes)
         self.sim.after(self._switch_timeout, self._check_switch_stuck)
 
+    def _rejoin(self) -> None:
+        """The server went silent past the rejoin timeout: relocate.
+
+        Mirrors what a real client does when its server crashes — ask
+        the lobby for whoever owns its position now and reconnect.
+        Without a locator the client can only keep waiting.
+        """
+        if self._relocate is None:
+            return
+        self._server = None
+        self._pending = None
+        self.rejoins += 1
+        self.join(self._relocate(self._position), self._position)
+
     def _check_switch_stuck(self) -> None:
         """Recover from a handoff to a server that died mid-switch."""
         if self._pending is None or not self.active:
@@ -504,6 +556,7 @@ class GameClient(Node):
     def _on_snapshot(self, message: Message) -> None:
         snapshot: Snapshot = message.payload
         self.snapshots_received += 1
+        self._last_snapshot_at = self.sim.now
         acked = [
             seq
             for seq in self._pending_actions
@@ -518,7 +571,18 @@ class GameClient(Node):
     # Update loop
     # ------------------------------------------------------------------
     def _update_tick(self) -> None:
-        if not self.active or self._server is None or self._pending is not None:
+        if not self.active or self._pending is not None:
+            return
+        # Dead-server watchdog before the no-server guard: a rejoin
+        # whose own hello was lost leaves ``_server`` None, and only
+        # this check can retry it.
+        if (
+            self._rejoin_timeout is not None
+            and self.sim.now - self._last_snapshot_at > self._rejoin_timeout
+        ):
+            self._rejoin()
+            return
+        if self._server is None:
             return
         profile = self._profile
         dt = 1.0 / profile.update_hz

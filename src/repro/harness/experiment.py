@@ -98,6 +98,11 @@ class ExperimentResult:
 class MatrixExperiment:
     """A ready-to-run Matrix deployment with workload hooks."""
 
+    #: Message kinds carrying Matrix's consistency traffic — what a
+    #: chaos ``LinkDegrade`` faults when the scenario names no kinds
+    #: (same contract as ``ArchitectureBackend.fault_kinds``).
+    fault_kinds = ("matrix.forward",)
+
     def __init__(
         self,
         profile: GameProfile,
@@ -109,6 +114,8 @@ class MatrixExperiment:
         sample_period: float = 1.0,
         grid: tuple[int, int] | None = None,
         perf: PerfConfig | None = None,
+        replicated_mc: bool = False,
+        mc_failover_timeout: float = 3.0,
     ) -> None:
         self.profile = profile
         self.rng = RngRegistry(seed=seed)
@@ -129,7 +136,12 @@ class MatrixExperiment:
             self.config,
             game_server_factory=self._make_game_server,
             pool_capacity=pool_capacity,
+            replicated_mc=replicated_mc,
+            mc_failover_timeout=mc_failover_timeout,
         )
+        #: The armed :class:`~repro.chaos.ChaosDriver`, or None.  Set
+        #: by the unified runner for scenarios that declare faults.
+        self.chaos = None
         if grid is None:
             self.deployment.bootstrap()
         else:
@@ -143,6 +155,12 @@ class MatrixExperiment:
         )
         self._sampler = Sampler(self.sim, sample_period, self._probes)
         self._peak_servers = 1
+
+    def fault_nodes(self) -> list:
+        """Server-class nodes a chaos ``LinkDegrade`` installs stages on
+        (same contract as ``ArchitectureBackend.fault_nodes``; late
+        spawns are covered by the deployment's pair-created hooks)."""
+        return list(self.deployment.matrix_servers.values())
 
     def _make_game_server(self, name: str, partition) -> GameServer:
         return GameServer(

@@ -18,10 +18,15 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.baselines.backend import BackendInfo
+from repro.chaos import ChaosDriver, ChaosOptions
 from repro.core.config import LoadPolicyConfig, MiddlewareConfig, PerfConfig
 from repro.games.profile import GameProfile, profile_by_name
 from repro.harness.experiment import ExperimentResult, MatrixExperiment
-from repro.workload.scenarios import Scenario, build_scenario
+from repro.workload.scenarios import (
+    CoordinatorCrash,
+    Scenario,
+    build_scenario,
+)
 
 
 @dataclass
@@ -38,6 +43,49 @@ class ScenarioOutcome:
     backend: str
     result: Any
     experiment: Any
+
+
+def _resolve_chaos(
+    scenario: Scenario, chaos: "bool | str | ChaosOptions | None"
+) -> ChaosOptions | None:
+    """The :class:`ChaosOptions` to arm, or None for a plain run.
+
+    ``"auto"`` (the default) arms chaos exactly when the scenario
+    declares fault phases, so plain workloads stay untouched; ``True``
+    forces default options, ``False``/``None`` disables injection even
+    for chaos scenarios, and a :class:`ChaosOptions` is used as-is.
+    """
+    if chaos is None or chaos is False:
+        return None
+    if chaos == "auto":
+        return ChaosOptions() if scenario.has_faults else None
+    if chaos is True:
+        return ChaosOptions()
+    return chaos
+
+
+def _arm_chaos(
+    experiment: Any,
+    scenario: Scenario,
+    backend: str,
+    options: ChaosOptions | None,
+) -> None:
+    """Attach and arm a :class:`ChaosDriver` when *options* ask for one."""
+    if options is None:
+        return
+    driver = ChaosDriver(scenario, experiment, backend, options)
+    driver.arm()
+    experiment.chaos = driver
+
+
+def _wants_standby_mc(
+    scenario: Scenario, options: ChaosOptions | None
+) -> bool:
+    """A CoordinatorCrash is coming: deploy the replicated MC."""
+    if options is None:
+        return False
+    faults = (*scenario.fault_phases(), *options.extra_faults)
+    return any(isinstance(fault, CoordinatorCrash) for fault in faults)
 
 
 #: backend name -> runner(scenario, profile, **options) -> (result, experiment)
@@ -109,7 +157,11 @@ def _run_matrix(
     seed: int = 0,
     pool_capacity: int = 16,
     sample_period: float = 1.0,
+    chaos: ChaosOptions | None = None,
+    replicated_mc: bool | None = None,
 ) -> tuple[ExperimentResult, MatrixExperiment]:
+    if replicated_mc is None:
+        replicated_mc = _wants_standby_mc(scenario, chaos)
     experiment = MatrixExperiment(
         profile,
         policy=policy,
@@ -119,8 +171,10 @@ def _run_matrix(
         pool_capacity=pool_capacity,
         sample_period=sample_period,
         grid=scenario.grid,
+        replicated_mc=replicated_mc,
     )
     scenario.install(experiment.fleet, profile)
+    _arm_chaos(experiment, scenario, "matrix", chaos)
     return experiment.run(until=scenario.duration), experiment
 
 
@@ -143,6 +197,7 @@ def _run_static(
     rows: int = 1,
     queue_capacity: int | None = 20000,
     perf: PerfConfig | None = None,
+    chaos: ChaosOptions | None = None,
 ):
     from repro.baselines.static import StaticExperiment  # local: no cycle
 
@@ -157,6 +212,7 @@ def _run_static(
         perf=perf,
     )
     scenario.install(experiment.fleet, profile)
+    _arm_chaos(experiment, scenario, "static", chaos)
     return experiment.run(until=scenario.duration), experiment
 
 
@@ -178,6 +234,7 @@ def _run_mirrored(
     mirrors: int = 3,
     queue_capacity: int | None = 20000,
     perf: PerfConfig | None = None,
+    chaos: ChaosOptions | None = None,
 ):
     from repro.baselines.mirrored import MirroredExperiment  # local: no cycle
 
@@ -189,6 +246,7 @@ def _run_mirrored(
         perf=perf,
     )
     scenario.install(experiment.fleet, profile)
+    _arm_chaos(experiment, scenario, "mirrored", chaos)
     return experiment.run(until=scenario.duration), experiment
 
 
@@ -212,6 +270,7 @@ def _run_p2p(
     uplink_capacity: float | None = None,
     queue_capacity: int | None = 20000,
     perf: PerfConfig | None = None,
+    chaos: ChaosOptions | None = None,
 ):
     from repro.baselines.p2p import (  # local: no cycle
         DEFAULT_UPLINK_BYTES_PER_S,
@@ -234,6 +293,7 @@ def _run_p2p(
         perf=perf,
     )
     scenario.install(experiment.fleet, profile)
+    _arm_chaos(experiment, scenario, "p2p", chaos)
     return experiment.run(until=scenario.duration), experiment
 
 
@@ -256,6 +316,7 @@ def _run_dht(
     rows: int = 2,
     queue_capacity: int | None = 20000,
     perf: PerfConfig | None = None,
+    chaos: ChaosOptions | None = None,
 ):
     from repro.baselines.dht import DhtExperiment  # local: no cycle
 
@@ -270,6 +331,7 @@ def _run_dht(
         perf=perf,
     )
     scenario.install(experiment.fleet, profile)
+    _arm_chaos(experiment, scenario, "dht", chaos)
     return experiment.run(until=scenario.duration), experiment
 
 
@@ -279,6 +341,7 @@ def run_scenario(
     profile: GameProfile | None = None,
     scale: float = 1.0,
     preview: float | None = None,
+    chaos: "bool | str | ChaosOptions" = "auto",
     **options,
 ) -> ScenarioOutcome:
     """Run *scenario* (an instance or a registered name) on *backend*.
@@ -287,7 +350,13 @@ def run_scenario(
     preserved) and ``preview`` truncates the duration, both conveniences
     for smoke runs; callers wanting scaled *dynamics* must also pass a
     scaled ``policy``/profile (see ``LoadPolicyConfig.scaled`` and
-    ``repro.harness.compare.scaled_profile``).  Remaining keyword
+    ``repro.harness.compare.scaled_profile``).  ``chaos`` controls
+    fault injection: ``"auto"`` (default) arms a
+    :class:`~repro.chaos.ChaosDriver` exactly when the scenario
+    declares fault phases, ``False`` runs a chaos scenario with its
+    faults disarmed, and a :class:`~repro.chaos.ChaosOptions` tunes
+    the driver (and can add extra faults).  The armed driver is
+    reachable as ``outcome.experiment.chaos``.  Remaining keyword
     options go to the backend runner verbatim.
     """
     if isinstance(scenario, str):
@@ -304,7 +373,9 @@ def run_scenario(
         raise ValueError(
             f"unknown backend {backend!r}; known: {backend_names()}"
         ) from None
-    result, experiment = runner(scenario, profile, **options)
+    result, experiment = runner(
+        scenario, profile, chaos=_resolve_chaos(scenario, chaos), **options
+    )
     return ScenarioOutcome(
         scenario=scenario,
         backend=backend,

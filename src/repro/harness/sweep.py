@@ -39,17 +39,22 @@ def sweep_scenarios(
     preview: float | None = None,
     on_result: Callable[[SweepRow], None] | None = None,
 ) -> list[SweepRow]:
-    """Run every registered scenario (Matrix backend) at *scale*.
+    """Run every registered fault-free scenario (Matrix backend).
 
     Population, policy thresholds and server capacity all scale
     together, preserving split/reclaim dynamics.  *on_result* is called
-    after each scenario (progress reporting).
+    after each scenario (progress reporting).  Chaos scenarios (those
+    declaring fault phases) are excluded — they are graded by the
+    chaos suite (``benchmarks/bench_chaos_suite.py``), and the sweep
+    table stays comparable across commits.
     """
     from repro.harness.compare import scaled_profile  # local: avoid cycle
 
     rows = []
     for name in scenario_names():
         scenario = build_scenario(name)
+        if scenario.has_faults:
+            continue
         profile = scaled_profile(profile_by_name(scenario.game), scale)
         started = time.perf_counter()
         outcome = run_scenario(

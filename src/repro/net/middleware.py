@@ -122,9 +122,18 @@ class MiddlewarePipeline:
         """Install *stage* as the new innermost stage."""
         stage.bind(self._owner)
         self._stages.append(stage)
+        self.invalidate_chains()
+        return stage
+
+    def invalidate_chains(self) -> None:
+        """Drop the compiled per-kind chains (recompiled on demand).
+
+        Must be called whenever a stage's declared kind sets change
+        after installation — a chain compiled under the old declaration
+        may omit (or needlessly include) the stage.
+        """
         self._in_chains.clear()
         self._out_chains.clear()
-        return stage
 
     def stage(self, name: str) -> MiddlewareStage | None:
         """First installed stage with the given name, if any."""
@@ -284,6 +293,43 @@ class FaultInjectionStage(MiddlewareStage):
         self._kinds = frozenset(kinds) if kinds is not None else None
         self.dropped = 0
         self.duplicated = 0
+
+    @property
+    def drop_rate(self) -> float:
+        """Current probability of dropping a matching outbound message."""
+        return self._drop_rate
+
+    @property
+    def duplicate_rate(self) -> float:
+        """Current probability of duplicating a matching message."""
+        return self._duplicate_rate
+
+    def set_kinds(self, kinds: Iterable[str] | None) -> None:
+        """Re-target the stage at a different kind set mid-run.
+
+        Invalidates the owning pipeline's compiled chains: a chain
+        compiled while the old kind set excluded a kind would otherwise
+        keep bypassing this stage for that kind forever.  The inline
+        kind check in :meth:`on_outbound` covers the other direction
+        (chains that over-include the stage pass other kinds through).
+        """
+        self._kinds = frozenset(kinds) if kinds is not None else None
+        if self._node is not None:
+            self._node.middleware.invalidate_chains()
+
+    def set_rates(self, drop_rate: float, duplicate_rate: float = 0.0) -> None:
+        """Re-tune the fault rates mid-run (chaos LinkDegrade/Recovery).
+
+        Zero rates make the stage inert (messages pass through without
+        an RNG draw), so degradation windows can open and close without
+        reinstalling stages.
+        """
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError(f"drop_rate out of [0, 1]: {drop_rate}")
+        if not 0.0 <= duplicate_rate <= 1.0:
+            raise ValueError(f"duplicate_rate out of [0, 1]: {duplicate_rate}")
+        self._drop_rate = drop_rate
+        self._duplicate_rate = duplicate_rate
 
     def outbound_kinds(self) -> frozenset[str] | None:
         return self._kinds

@@ -85,6 +85,9 @@ class Network:
         self._profile_cache: dict[tuple[str, str], LinkProfile] = {}
         self.stats = TrafficStats()
         self.delivered_count = 0
+        #: Messages addressed to a node that was gone at send time or
+        #: vanished in flight (decommission races, chaos crashes).
+        self.undeliverable_count = 0
         self.perf = perf
         if perf is not None:
             self._perf_sent = perf.counter("net.messages_sent")
@@ -187,6 +190,7 @@ class Network:
         if self._perf_sent is not None:
             self._perf_sent.add(message.size_bytes)
         if message.dst not in self._nodes:
+            self.undeliverable_count += 1
             return
         profile = self.profile_for(message.src, message.dst)
         delay = (
@@ -201,6 +205,7 @@ class Network:
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.dst)
         if node is None:
+            self.undeliverable_count += 1
             return  # destination decommissioned while in flight
         self.delivered_count += 1
         if self._perf_delivered is not None:

@@ -59,6 +59,7 @@ class ReceiveQueue:
         self._priority_predicate = priority_predicate
         self._queue: deque[Message] = deque()
         self._busy = False
+        self._halted = False
         self.serviced_count = 0
         self.dropped_count = 0
         self.busy_time = 0.0
@@ -91,8 +92,21 @@ class ReceiveQueue:
     # ------------------------------------------------------------------
     # Operation
     # ------------------------------------------------------------------
+    def halt(self) -> None:
+        """Crash semantics: drop everything queued, service nothing more.
+
+        Messages sitting in a dead host's queue die with the host; an
+        already-scheduled service completion finds the queue halted and
+        does nothing.  Used by chaos-layer crash injection only.
+        """
+        self._halted = True
+        self._queue.clear()
+        self._busy = False
+
     def deliver(self, message: Message) -> None:
         """A message arrives from the network."""
+        if self._halted:
+            return
         if (
             not self._busy
             and not self._queue
@@ -144,6 +158,8 @@ class ReceiveQueue:
             self._sim.after(delay, self._finish_one)
 
     def _finish_one(self) -> None:
+        if self._halted or not self._queue:
+            return
         message = self._queue.popleft()
         self.serviced_count += 1
         self._handler(message)

@@ -48,6 +48,9 @@ class ClientFleet:
         self._rng = rng
         self._prefix = name_prefix
         self._counter = 0
+        #: When set, every client watches for snapshot silence and
+        #: rejoins via the locator (chaos runs; see enable_rejoin).
+        self._rejoin_timeout: float | None = None
         self.clients: list[GameClient] = []
         #: Named groups (e.g. "hotspot-1") for targeted departures.
         self.groups: dict[str, list[GameClient]] = {}
@@ -58,6 +61,19 @@ class ClientFleet:
     # ------------------------------------------------------------------
     # Spawning
     # ------------------------------------------------------------------
+    def enable_rejoin(self, timeout: float) -> None:
+        """Arm dead-server detection on every present and future client.
+
+        A client whose snapshots stop for *timeout* seconds relocates
+        through the fleet's locator and rejoins.  Armed by the chaos
+        driver; plain runs never pay for the check.
+        """
+        if timeout <= 0:
+            raise ValueError(f"rejoin timeout must be positive: {timeout}")
+        self._rejoin_timeout = timeout
+        for client in self.clients:
+            client.enable_rejoin(timeout)
+
     def _new_client(self, mobility, position: Vec2) -> GameClient:
         self._counter += 1
         client = GameClient(
@@ -66,6 +82,7 @@ class ClientFleet:
             mobility=mobility,
             rng=random.Random(self._rng.getrandbits(64)),
             relocate=self._locator,
+            rejoin_timeout=self._rejoin_timeout,
         )
         self._network.add_node(client)
         self.clients.append(client)

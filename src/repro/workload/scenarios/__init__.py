@@ -5,7 +5,10 @@
 so the registry is populated as a side effect of importing this
 package).  The Fig 2 reproduction registers itself from
 :mod:`repro.harness.fig2`; running any scenario is the job of
-:func:`repro.harness.runner.run_scenario`.
+:func:`repro.harness.runner.run_scenario`.  Fault phases
+(:class:`ServerCrash`, :class:`CoordinatorCrash`, :class:`LinkDegrade`,
+:class:`Recovery`) are injected by :mod:`repro.chaos` when the runner
+arms a scenario that declares them.
 """
 
 from repro.workload.scenarios.registry import (
@@ -18,12 +21,17 @@ from repro.workload.scenarios.registry import (
 from repro.workload.scenarios.spec import (
     ArrivalWave,
     Churn,
+    CoordinatorCrash,
     Departure,
+    FaultPhase,
     HotspotWave,
+    LinkDegrade,
     MapPoint,
     Migration,
     Phase,
+    Recovery,
     Scenario,
+    ServerCrash,
 )
 
 from repro.workload.scenarios import catalog  # noqa: F401  (registers built-ins)
@@ -31,12 +39,17 @@ from repro.workload.scenarios import catalog  # noqa: F401  (registers built-ins
 __all__ = [
     "ArrivalWave",
     "Churn",
+    "CoordinatorCrash",
     "Departure",
+    "FaultPhase",
     "HotspotWave",
+    "LinkDegrade",
     "MapPoint",
     "Migration",
     "Phase",
+    "Recovery",
     "Scenario",
+    "ServerCrash",
     "build_scenario",
     "register_scenario",
     "scenario",

@@ -13,11 +13,15 @@ from repro.workload.scenarios.registry import scenario
 from repro.workload.scenarios.spec import (
     ArrivalWave,
     Churn,
+    CoordinatorCrash,
     Departure,
     HotspotWave,
+    LinkDegrade,
     MapPoint,
     Migration,
+    Recovery,
     Scenario,
+    ServerCrash,
 )
 
 
@@ -190,6 +194,97 @@ def steady_churn() -> Scenario:
         phases=(
             ArrivalWave(count=120),
             Churn(rate=8.0, start=5.0, stop=130.0, session=25.0),
+        ),
+    )
+
+
+@scenario("crash-during-split")
+def crash_during_split() -> Scenario:
+    """A server dies with a split in flight — the abort/rollback path.
+
+    The hotspot drives a split cascade; at t=25 whichever server is
+    mid-split is killed.  The supervisor must reclaim every lease the
+    corpse held (its own host, the half-born child's host), respawn the
+    partition, and the pool must balance once the dust settles.
+    """
+    return Scenario(
+        name="crash-during-split",
+        description=(
+            "A 500-client hotspot forces splits; a server is crashed "
+            "mid-split at t=25 and another (the busiest) at t=50 — "
+            "recovery must re-cover the partition and leak no hosts."
+        ),
+        duration=120.0,
+        phases=(
+            ArrivalWave(count=60),
+            HotspotWave(
+                count=500,
+                center=MapPoint(0.625, 0.5),
+                at=10.0,
+                group="crowd",
+            ),
+            ServerCrash(at=25.0, victim="splitting"),
+            ServerCrash(at=50.0, victim="busiest"),
+        ),
+    )
+
+
+@scenario("failover-storm")
+def failover_storm() -> Scenario:
+    """MC failover under load, with server crashes stacked on top."""
+    return Scenario(
+        name="failover-storm",
+        description=(
+            "A growing hotspot; the primary MC is crashed at t=30 (the "
+            "standby must promote and converge the partition map), a "
+            "Matrix server is crashed at t=55 post-failover, and the "
+            "hotspot then migrates so repartitioning keeps working "
+            "under the new coordinator."
+        ),
+        duration=150.0,
+        phases=(
+            ArrivalWave(count=80),
+            HotspotWave(
+                count=400,
+                center=MapPoint(0.375, 0.5),
+                at=8.0,
+                group="storm",
+            ),
+            CoordinatorCrash(at=30.0),
+            ServerCrash(at=55.0, victim="youngest"),
+            Migration(group="storm", center=MapPoint(0.75, 0.75), at=80.0),
+        ),
+    )
+
+
+@scenario("lossy-wan")
+def lossy_wan() -> Scenario:
+    """Consistency traffic over a lossy, duplicating long-haul link.
+
+    The one chaos scenario every architecture backend can run: each
+    backend's own consistency kinds (overlap forwards, mirror
+    replication, p2p fan-out, DHT hops) are dropped/duplicated for a
+    window, so ``compare`` grades resilience to link faults too.
+    """
+    return Scenario(
+        name="lossy-wan",
+        description=(
+            "A steady crowd plus a hotspot while the servers' "
+            "consistency links drop 8% and duplicate 2% of messages "
+            "between t=20 and t=70, then recover."
+        ),
+        duration=120.0,
+        phases=(
+            ArrivalWave(count=120),
+            HotspotWave(
+                count=300,
+                center=MapPoint(0.625, 0.5),
+                at=10.0,
+                group="crowd",
+            ),
+            LinkDegrade(at=20.0, duration=50.0, drop_rate=0.08,
+                        duplicate_rate=0.02),
+            Recovery(at=70.0),
         ),
     )
 

@@ -188,6 +188,87 @@ class Churn:
         return dataclasses.replace(self, rate=self.rate * factor)
 
 
+class FaultPhase:
+    """Base of the chaos phases: faults a scenario injects, not load.
+
+    Fault phases satisfy the :class:`Phase` protocol so they slot into
+    ``Scenario.phases`` next to workload phases, but installing one on
+    a fleet is a no-op — they describe *infrastructure* events, and the
+    chaos driver (:mod:`repro.chaos`) schedules them against whichever
+    backend runs the scenario.  A backend without chaos support simply
+    runs the workload phases unfaulted.
+    """
+
+    def install(self, fleet: ClientFleet, profile: GameProfile) -> None:
+        """Workload side: nothing to register."""
+
+    def scaled(self, factor: float) -> "FaultPhase":
+        """Faults describe infrastructure, not population: unscaled."""
+        return self
+
+
+@dataclass(frozen=True)
+class ServerCrash(FaultPhase):
+    """Kill one live Matrix+game server pair abruptly at *at*.
+
+    ``victim`` picks the casualty at injection time: ``"youngest"``
+    (most recently spawned), ``"oldest"``, ``"busiest"`` (most
+    clients), or ``"splitting"`` (one with a split in flight, falling
+    back to the youngest).  The crash is skipped — and recorded as
+    skipped — when fewer than two live servers remain.
+    """
+
+    at: float
+    victim: str = "youngest"
+
+    def __post_init__(self) -> None:
+        if self.victim not in ("youngest", "oldest", "busiest", "splitting"):
+            raise ValueError(f"unknown victim rule: {self.victim!r}")
+
+
+@dataclass(frozen=True)
+class CoordinatorCrash(FaultPhase):
+    """Crash the primary MC at *at*.
+
+    On the matrix backend the runner notices this phase and deploys a
+    replicated MC, so the standby detects the silence and promotes
+    itself (§3.2.4's "well understood replication techniques").
+    """
+
+    at: float
+
+
+@dataclass(frozen=True)
+class LinkDegrade(FaultPhase):
+    """Degrade the backend's consistency links for a window.
+
+    From *at* for *duration* seconds, outbound messages of the faulted
+    kinds are dropped/duplicated with the given probabilities on every
+    server-class node (the backend declares which kinds carry its
+    consistency traffic when ``kinds`` is None).
+    """
+
+    at: float
+    duration: float = float("inf")
+    drop_rate: float = 0.05
+    duplicate_rate: float = 0.0
+    kinds: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+        for rate in (self.drop_rate, self.duplicate_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate out of [0, 1]: {rate}")
+
+
+@dataclass(frozen=True)
+class Recovery(FaultPhase):
+    """End every active link degradation at *at* (rates back to zero)."""
+
+    at: float
+
+
 @dataclass(frozen=True)
 class Scenario:
     """A complete declarative workload: phases + duration + game.
@@ -217,6 +298,17 @@ class Scenario:
         """Register every phase on *fleet*, in declaration order."""
         for phase in self.phases:
             phase.install(fleet, profile)
+
+    def fault_phases(self) -> tuple[FaultPhase, ...]:
+        """The chaos phases (empty for a plain workload scenario)."""
+        return tuple(
+            phase for phase in self.phases if isinstance(phase, FaultPhase)
+        )
+
+    @property
+    def has_faults(self) -> bool:
+        """True when this scenario injects faults (chaos scenario)."""
+        return any(isinstance(phase, FaultPhase) for phase in self.phases)
 
     def scaled(self, factor: float) -> "Scenario":
         """A population-scaled copy (phase timing is preserved)."""
