@@ -6,24 +6,23 @@ p2p, dht) through the unified runner, and each cell reports the four
 numbers the architectures trade off — peak receive queue, consistency
 bytes, routing-lookup latency, and p99 response latency.
 
-Persisted as ``BENCH_architecture_matrix.json`` (schema in
-docs/BENCHMARKS.md) so the perf-trajectory tooling can diff the grid
-across commits.
+The grid is embarrassingly parallel, so it fans out over
+``repro.harness.parallel.run_grid`` (``REPRO_BENCH_JOBS`` workers;
+serial by default).  Cell metrics are deterministic and merged in
+canonical order, so the ``metrics`` payload of
+``BENCH_architecture_matrix.json`` is byte-identical whatever the job
+count; per-cell wall clocks land in the separate ``timing`` section.
+Schema in docs/BENCHMARKS.md.
 """
 
-from common import (
-    SCALE,
-    SEED,
-    backend_run_options,
-    game_profile,
-    record,
-    record_json,
-    scaled_policy,
-)
+import time
 
-from repro.analysis.stats import percentile
-from repro.harness.runner import backend_names, run_scenario
-from repro.workload.scenarios import scenario_names
+from common import JOBS, SCALE, SEED, record, record_json
+
+from repro.harness.gridcells import arch_matrix_cell
+from repro.harness.parallel import GridTask, run_grid, timing_section
+from repro.harness.runner import backend_names
+from repro.workload.scenarios import build_scenario, scenario_names
 
 #: The grid runs every backend, so population scale is capped below the
 #: figure benches' default: p2p fan-out is quadratic in hotspot size.
@@ -32,75 +31,41 @@ ARCH_SCALE = min(SCALE, 0.1)
 #: without changing which architecture saturates first.
 PREVIEW = 60.0
 
-#: Message-kind prefixes that constitute each backend's consistency
-#: traffic (what it spends to keep replicas/peers/lookups coherent).
-CONSISTENCY_PREFIXES = {
-    "matrix": ("matrix.forward",),
-    "static": ("matrix.forward",),
-    "mirrored": ("mirror.",),
-    "p2p": ("p2p.",),
-    "dht": ("matrix.forward", "dht."),
-}
 
-
-def run_matrix_grid():
-    import time
-
-    from repro.workload.scenarios import build_scenario
-
-    grid = {}
-    policy = scaled_policy(ARCH_SCALE)
+def matrix_grid_tasks(jobs=None):
+    """The (backend × fault-free scenario) task list."""
     # Chaos scenarios are graded by bench_chaos_suite; this grid stays
     # fault-free so its cells remain comparable across commits.
     names = [
         name for name in scenario_names()
         if not build_scenario(name).has_faults
     ]
-    for backend in backend_names():
-        grid[backend] = {}
-        for name in names:
-            options = backend_run_options(backend, ARCH_SCALE, policy)
-            started = time.perf_counter()
-            outcome = run_scenario(
-                name,
+    return [
+        GridTask(
+            key=(backend, name),
+            fn=arch_matrix_cell,
+            kwargs=dict(
                 backend=backend,
-                profile=game_profile_for(name),
+                name=name,
                 scale=ARCH_SCALE,
                 preview=PREVIEW,
-                **options,
-            )
-            wall = time.perf_counter() - started
-            result = outcome.result
-            stats = result.traffic
-            consistency_bytes = sum(
-                stats.kind_bytes(prefix)
-                for prefix in CONSISTENCY_PREFIXES[backend]
-            )
-            latencies = result.action_latencies
-            consistency = getattr(result, "consistency", {}) or {}
-            grid[backend][name] = {
-                "peak_queue": result.max_queue(),
-                "dropped": float(getattr(result, "dropped_packets", 0)),
-                "consistency_bytes": float(consistency_bytes),
-                "lookup_latency_ms": (
-                    consistency.get("mean_lookup_latency", 0.0) * 1000.0
-                ),
-                "p99_latency_ms": (
-                    percentile(latencies, 99) * 1000.0 if latencies else 0.0
-                ),
-                "events": float(
-                    getattr(result, "events_processed", 0)
-                    or outcome.experiment.sim.events_processed
-                ),
-                "wall_seconds": wall,
-            }
-    return grid
+                seed=SEED,
+            ),
+        )
+        for backend in backend_names()
+        for name in names
+    ]
 
 
-def game_profile_for(scenario_name):
-    from repro.workload.scenarios import build_scenario
-
-    return game_profile(build_scenario(scenario_name).game, ARCH_SCALE)
+def run_matrix_grid(jobs=JOBS):
+    started = time.perf_counter()
+    cells = run_grid(matrix_grid_tasks(), jobs=jobs)
+    wall_total = time.perf_counter() - started
+    grid = {}
+    for cell in cells:
+        backend, name = cell.key
+        grid.setdefault(backend, {})[name] = cell.value
+    return grid, timing_section(cells, jobs, wall_total)
 
 
 def format_grid(grid) -> str:
@@ -122,12 +87,15 @@ def format_grid(grid) -> str:
 
 
 def test_architecture_matrix(benchmark):
-    grid = benchmark.pedantic(run_matrix_grid, rounds=1, iterations=1)
+    grid, timing = benchmark.pedantic(
+        run_matrix_grid, rounds=1, iterations=1
+    )
 
     backends = sorted(grid)
     scenarios = sorted(grid[backends[0]])
     lines = [
-        f"Arch-matrix (scale={ARCH_SCALE:g}, preview={PREVIEW:.0f}s): "
+        f"Arch-matrix (scale={ARCH_SCALE:g}, preview={PREVIEW:.0f}s, "
+        f"jobs={timing['jobs']}): "
         f"{len(scenarios)} scenarios x {len(backends)} backends",
         format_grid(grid),
     ]
@@ -141,6 +109,7 @@ def test_architecture_matrix(benchmark):
             "scenarios": scenarios,
             "grid": grid,
         },
+        timing=timing,
     )
 
     # Every cell completed: the unified runner really is universal.

@@ -16,27 +16,22 @@ Two grids:
    are matrix-only by design: the rivals have no recovery protocol,
    which is itself the comparison.
 
-Persisted as ``BENCH_chaos_suite.json`` (schema in docs/BENCHMARKS.md).
+Both grids fan out over ``repro.harness.parallel.run_grid``
+(``REPRO_BENCH_JOBS`` workers; serial by default).  Every recorded
+field is a simulation-time quantity — deterministic for a given seed —
+so the ``metrics`` payload of ``BENCH_chaos_suite.json`` byte-diffs
+across job counts; per-cell wall clocks go in the ``timing`` section.
+Schema in docs/BENCHMARKS.md.
 """
 
-from common import (
-    SEED,
-    backend_run_options,
-    game_profile,
-    record,
-    record_json,
-    scaled_policy,
-)
+import time
 
-from repro.chaos import ChaosOptions
-from repro.harness.compare import Verdict, outcome_for
-from repro.harness.runner import backend_names, run_scenario
-from repro.workload.scenarios import (
-    CoordinatorCrash,
-    ServerCrash,
-    build_scenario,
-    scenario_names,
-)
+from common import JOBS, SEED, record, record_json
+
+from repro.harness.gridcells import chaos_fault_cell, chaos_recovery_cell
+from repro.harness.parallel import GridTask, run_grid, timing_section
+from repro.harness.runner import backend_names
+from repro.workload.scenarios import scenario_names
 
 #: Chaos runs every scenario twice over; keep the population small.
 CHAOS_SCALE = 0.1
@@ -50,99 +45,54 @@ SETTLE = 8.0
 FAULT_SCENARIOS = ("crash-during-split", "failover-storm", "lossy-wan")
 
 
-def run_matrix_recovery_grid() -> dict:
-    """Grid 1: every scenario + injected crash & failover, matrix only."""
-    grid = {}
-    policy = scaled_policy(CHAOS_SCALE)
-    for name in scenario_names():
-        scenario = build_scenario(name)
-        horizon = min(scenario.duration, PREVIEW)
-        chaos = ChaosOptions(
-            extra_faults=(
-                ServerCrash(at=horizon * 0.4, victim="busiest"),
-                CoordinatorCrash(at=horizon * 0.55),
-            )
-        )
-        outcome = run_scenario(
-            scenario,
-            backend="matrix",
-            profile=game_profile(scenario.game, CHAOS_SCALE),
-            policy=policy,
-            scale=CHAOS_SCALE,
-            preview=PREVIEW,
-            seed=SEED,
-            chaos=chaos,
-        )
-        experiment = outcome.experiment
-        experiment.sim.run(until=horizon + SETTLE)
-        report = experiment.chaos.report()
-        deployment = experiment.deployment
-        coordinator = deployment.coordinator
-        standby = deployment.standby_coordinator
-        if standby is not None and standby.promoted:
-            coordinator = standby
-        recovery_times = report.recovery_times()
-        injected = [f for f in report.faults if f.status == "injected"]
-        grid[name] = {
-            "faults_injected": len(injected),
-            "faults_skipped": len(report.faults) - len(injected),
-            "crashes_detected": len(report.recoveries),
-            "recovery_times": recovery_times,
-            "max_recovery_time": max(recovery_times, default=0.0),
-            "all_recovered": report.all_recovered(),
-            "mc_promoted_at": report.mc_promoted_at,
-            "packets_lost": report.undeliverable_packets,
-            "client_rejoins": report.client_rejoins,
-            "leaked_hosts": len(report.leaked_hosts),
-            "coverage_ratio": (
-                coordinator.coverage_area()
-                / experiment.profile.world.area
-            ),
-        }
-    return grid
-
-
-def run_backend_fault_grid() -> dict:
-    """Grid 2: the chaos scenarios on every backend, shared verdict."""
-    grid = {}
-    policy = scaled_policy(CHAOS_SCALE)
-    queue_capacity = max(int(20000 * CHAOS_SCALE), 100)
-    for backend in backend_names():
-        grid[backend] = {}
-        for name in FAULT_SCENARIOS:
-            scenario = build_scenario(name)
-            profile = game_profile(scenario.game, CHAOS_SCALE)
-            options = backend_run_options(
-                backend, CHAOS_SCALE, policy, queue_capacity=20000
-            )
-            outcome = run_scenario(
-                scenario,
-                backend=backend,
-                profile=profile,
+def chaos_grid_tasks():
+    """Both grids as one task list (keys are namespaced tuples)."""
+    tasks = [
+        GridTask(
+            key=("recovery", name),
+            fn=chaos_recovery_cell,
+            kwargs=dict(
+                name=name,
                 scale=CHAOS_SCALE,
                 preview=PREVIEW,
-                **options,
-            )
-            verdict = Verdict(
-                queue_capacity=queue_capacity,
-                queue_fraction=0.5,
-                latency_bound=4.0 / profile.snapshot_hz,
-            )
-            graded = outcome_for(backend, outcome.result, verdict)
-            report = outcome.experiment.chaos.report()
-            grid[backend][name] = {
-                "verdict": "FAILS" if graded.failed else "ok",
-                "peak_queue": graded.peak_queue,
-                "dropped": graded.dropped_packets,
-                "p99_latency": graded.p99_latency,
-                "packets_lost": report.undeliverable_packets,
-                "link_dropped": report.link_dropped,
-                "link_duplicated": report.link_duplicated,
-                "faults_unsupported": sum(
-                    1 for f in report.faults if f.status == "unsupported"
-                ),
-            }
-    return grid
+                settle=SETTLE,
+                seed=SEED,
+            ),
+        )
+        for name in scenario_names()
+    ]
+    tasks.extend(
+        GridTask(
+            key=("faults", backend, name),
+            fn=chaos_fault_cell,
+            kwargs=dict(
+                backend=backend,
+                name=name,
+                scale=CHAOS_SCALE,
+                preview=PREVIEW,
+                seed=SEED,
+                queue_capacity=20000,
+            ),
+        )
+        for backend in backend_names()
+        for name in FAULT_SCENARIOS
+    )
+    return tasks
+
+
+def run_chaos_grids(jobs=JOBS):
+    """Run both grids through one pool; return (recovery, faults, timing)."""
+    started = time.perf_counter()
+    cells = run_grid(chaos_grid_tasks(), jobs=jobs)
+    wall_total = time.perf_counter() - started
+    recovery, fault_grid = {}, {}
+    for cell in cells:
+        if cell.key[0] == "recovery":
+            recovery[cell.key[1]] = cell.value
+        else:
+            _, backend, name = cell.key
+            fault_grid.setdefault(backend, {})[name] = cell.value
+    return recovery, fault_grid, timing_section(cells, jobs, wall_total)
 
 
 def format_recovery_table(grid: dict) -> str:
@@ -180,13 +130,13 @@ def format_fault_grid(grid: dict) -> str:
 
 
 def test_chaos_suite(benchmark):
-    recovery = benchmark.pedantic(
-        run_matrix_recovery_grid, rounds=1, iterations=1
+    recovery, fault_grid, timing = benchmark.pedantic(
+        run_chaos_grids, rounds=1, iterations=1
     )
-    fault_grid = run_backend_fault_grid()
 
     lines = [
-        f"chaos suite (scale={CHAOS_SCALE:g}, seed={SEED}): every scenario "
+        f"chaos suite (scale={CHAOS_SCALE:g}, seed={SEED}, "
+        f"jobs={timing['jobs']}): every scenario "
         f"with a server crash + MC failover injected (matrix backend)",
         format_recovery_table(recovery),
         "",
@@ -197,6 +147,7 @@ def test_chaos_suite(benchmark):
     record_json(
         "chaos_suite",
         {"matrix_recovery": recovery, "backend_fault_grid": fault_grid},
+        timing=timing,
     )
 
     for name, row in recovery.items():

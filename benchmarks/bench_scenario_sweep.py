@@ -5,14 +5,19 @@ bench runs each registered scenario end to end (scaled down), prints a
 comparison table, and records machine-readable per-scenario metrics so
 the perf trajectory catches regressions in any workload, not just the
 paper's Fig 2 run.  The sweep machinery itself is shared with the CLI
-(``python -m repro sweep``) via :mod:`repro.harness.sweep`.
+(``python -m repro sweep``) via :mod:`repro.harness.sweep`, and fans
+out over ``REPRO_BENCH_JOBS`` worker processes (serial by default);
+the ``metrics`` payload of ``BENCH_scenario_sweep.json`` is
+deterministic — wall clocks live in the ``timing`` section.
 """
 
-import dataclasses
+from common import JOBS, SCALE, SEED, record, record_json
 
-from common import SCALE, SEED, record, record_json
-
-from repro.harness.sweep import format_sweep_table, sweep_scenarios
+from repro.harness.sweep import (
+    format_sweep_table,
+    run_sweep_grid,
+    sweep_payload,
+)
 
 #: Sweeping every scenario at full bench scale would dwarf the Fig 2
 #: runs; a fifth of it keeps the sweep minutes-scale while preserving
@@ -21,29 +26,21 @@ SWEEP_SCALE = SCALE * 0.2
 
 
 def test_scenario_sweep(benchmark):
-    rows = benchmark.pedantic(
-        lambda: sweep_scenarios(SWEEP_SCALE, seed=SEED),
+    run = benchmark.pedantic(
+        lambda: run_sweep_grid(SWEEP_SCALE, seed=SEED, jobs=JOBS),
         rounds=1,
         iterations=1,
     )
+    rows = run.rows
 
     lines = [
-        f"scenario sweep (scale={SWEEP_SCALE:g}, seed={SEED}): every "
+        f"scenario sweep (scale={SWEEP_SCALE:g}, seed={SEED}, "
+        f"jobs={run.timing['jobs']}): every "
         f"registered scenario through the unified runner",
         format_sweep_table(rows),
     ]
     record("scenario_sweep", "\n".join(lines))
-    record_json(
-        "scenario_sweep",
-        {
-            row.scenario: {
-                key: value
-                for key, value in dataclasses.asdict(row).items()
-                if key != "scenario"
-            }
-            for row in rows
-        },
-    )
+    record_json("scenario_sweep", sweep_payload(rows), timing=run.timing)
 
     assert len(rows) >= 6, "the catalog must stay populated"
     for row in rows:

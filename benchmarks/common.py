@@ -24,9 +24,16 @@ from repro.games.profile import profile_by_name
 from repro.harness.compare import scaled_profile
 from repro.harness.experiment import ExperimentResult, MatrixExperiment
 from repro.harness.fig2 import Fig2Schedule, install_fig2_workload
+from repro.harness.gridcells import backend_run_options  # noqa: F401  (re-export)
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+#: Worker processes for the grid benches (sweep, arch matrix, chaos,
+#: perf suite).  0/1 = the historical serial loops; CI smoke runs 2.
+#: Deterministic metrics are job-count-independent by construction —
+#: see repro/harness/parallel.py — only the BENCH "timing" sections
+#: (and wall-clock noise under core contention) vary.
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or None
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
@@ -61,35 +68,6 @@ def fig2_result(
     return experiment.run(until=schedule.duration)
 
 
-def backend_run_options(
-    backend: str,
-    scale: float,
-    policy: LoadPolicyConfig,
-    seed: int = SEED,
-    queue_capacity: int | None = None,
-) -> dict:
-    """Per-backend ``run_scenario`` options for a scaled grid cell.
-
-    Shared by the architecture-matrix and chaos-suite grids so their
-    grading conditions cannot drift: the matrix backend takes the
-    scaled policy, and the p2p consumer uplink scales with the
-    population (like ``compare_backends``) or its bottleneck silently
-    vanishes.  With *queue_capacity* the baselines additionally get
-    the scaled queue cap (the chaos grid grades drops; the arch grid
-    keeps each backend's default cap).
-    """
-    options: dict = {"seed": seed}
-    if backend == "matrix":
-        options["policy"] = policy
-    elif queue_capacity is not None:
-        options["queue_capacity"] = max(int(queue_capacity * scale), 100)
-    if backend == "p2p":
-        from repro.baselines.p2p import DEFAULT_UPLINK_BYTES_PER_S
-
-        options["uplink_capacity"] = DEFAULT_UPLINK_BYTES_PER_S * scale
-    return options
-
-
 def record(name: str, text: str) -> None:
     """Print a bench's table/figure and persist it under output/."""
     print()
@@ -98,13 +76,24 @@ def record(name: str, text: str) -> None:
     (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
 
 
-def record_json(name: str, metrics: dict) -> Path:
+def record_json(
+    name: str, metrics: dict, timing: dict | None = None
+) -> Path:
     """Persist machine-readable bench results as ``BENCH_<name>.json``.
 
     Every bench that has quantitative outputs should call this in
     addition to :func:`record`: the JSON files are what CI and the
     perf-trajectory tooling diff from run to run, so regressions show
     up as numbers rather than as ASCII-art changes.
+
+    ``metrics`` must hold only deterministic quantities — identical for
+    a given (scale, seed) whatever the machine, ``--jobs`` count or
+    scheduling — so two BENCH files byte-diff after dropping the
+    machine-dependent keys (``jq 'del(.timing, .python)'``).  Anything
+    wall-clock-dependent (wall seconds, events/sec, latency
+    percentiles measured in wall time, the jobs count) goes in
+    *timing*; :func:`repro.harness.parallel.timing_section` builds the
+    standard block for pooled grids.
     """
     OUTPUT_DIR.mkdir(exist_ok=True)
     payload = {
@@ -114,6 +103,8 @@ def record_json(name: str, metrics: dict) -> Path:
         "python": platform.python_version(),
         "metrics": metrics,
     }
+    if timing is not None:
+        payload["timing"] = timing
     path = OUTPUT_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Perf regression gate: diff a fresh ``BENCH_perf_suite.json`` against
+the committed baseline and fail on real slowdowns.
+
+Usage::
+
+    python scripts/check_perf_regression.py \\
+        --baseline benchmarks/baselines/perf_suite.json \\
+        --current  benchmarks/output/BENCH_perf_suite.json \\
+        [--tolerance 0.10] [--raw]
+
+Per suite scenario the gate fails on a >``tolerance`` (default 10%)
+drop in events/sec or rise in p99 step latency, plus a drop in the
+kernel's ``speedup_vs_rich_heap`` ratio.  Because the baseline is
+committed once and CI runners vary in speed, throughput and latency are
+*normalized* by the same run's legacy kernel drain rate
+(``timing.kernel.legacy_events_per_sec`` — a pure-Python workload whose
+speed tracks the machine's): ``events_per_sec / legacy_events_per_sec``
+and ``step_p99_us * legacy_events_per_sec`` cancel machine speed to
+first order, so what remains is the *code's* trajectory.  ``--raw``
+compares unnormalized wall-clock numbers (same-machine A/B runs).
+
+Exit status: 0 all gates pass, 1 regression, 2 unusable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_suite(path: Path) -> tuple[dict, dict, dict]:
+    """Returns (deterministic scenario rows, timing scenario rows, kernel)."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"error: cannot read {path}: {error}")
+    try:
+        metrics = payload["metrics"]["scenarios"]
+        timing = payload["timing"]["scenarios"]
+        kernel = payload["timing"]["kernel"]
+    except (KeyError, TypeError):
+        raise SystemExit(
+            f"error: {path} is not a BENCH_perf_suite.json with the "
+            "metrics/timing schema split (see docs/BENCHMARKS.md)"
+        )
+    return metrics, timing, kernel
+
+
+def normalizer(kernel: dict, raw: bool) -> float:
+    if raw:
+        return 1.0
+    legacy = kernel.get("legacy_events_per_sec", 0.0)
+    if legacy <= 0:
+        raise SystemExit(
+            "error: kernel legacy_events_per_sec missing or zero; "
+            "cannot normalize (use --raw for same-machine comparisons)"
+        )
+    return legacy
+
+
+def check(args: argparse.Namespace) -> int:
+    base_metrics, base_timing, base_kernel = load_suite(args.baseline)
+    cur_metrics, cur_timing, cur_kernel = load_suite(args.current)
+
+    missing = set(base_timing) - set(cur_timing)
+    if missing:
+        print(f"FAIL: suite scenarios missing from current run: "
+              f"{sorted(missing)}")
+        return 1
+
+    base_norm = normalizer(base_kernel, args.raw)
+    cur_norm = normalizer(cur_kernel, args.raw)
+
+    tag = "raw" if args.raw else "normalized by legacy kernel drain"
+    print(f"perf regression gate ({tag}, tolerance {args.tolerance:.0%})")
+    print(f"{'scenario':<18} {'metric':<12} {'baseline':>12} "
+          f"{'current':>12} {'change':>8} {'gate':>6}")
+
+    failures = 0
+
+    def gate(scenario: str, metric: str, base: float, cur: float,
+             bad_direction: int) -> None:
+        """bad_direction: -1 fails on drops, +1 fails on rises."""
+        nonlocal failures
+        if base <= 0:
+            verdict = "skip"
+            change = float("nan")
+        else:
+            change = (cur - base) / base
+            failed = bad_direction * change > args.tolerance
+            verdict = "FAIL" if failed else "ok"
+            failures += failed
+        print(f"{scenario:<18} {metric:<12} {base:>12.4g} {cur:>12.4g} "
+              f"{change:>+7.1%} {verdict:>6}")
+
+    for name in sorted(base_timing):
+        base_row, cur_row = base_timing[name], cur_timing[name]
+        gate(
+            name, "events/sec",
+            base_row["events_per_sec"] / base_norm,
+            cur_row["events_per_sec"] / cur_norm,
+            bad_direction=-1,
+        )
+        gate(
+            name, "p99 step",
+            base_row["step_p99_us"] * base_norm,
+            cur_row["step_p99_us"] * cur_norm,
+            bad_direction=+1,
+        )
+
+    # The kernel speedup is a same-run ratio — machine-independent by
+    # construction, so it is never normalized.
+    gate(
+        "kernel", "speedup",
+        base_kernel.get("speedup_vs_rich_heap", 0.0),
+        cur_kernel.get("speedup_vs_rich_heap", 0.0),
+        bad_direction=-1,
+    )
+
+    # Deterministic counters drifting means the workload itself changed
+    # — flag it (informational, not a perf gate) so a "regression-free"
+    # run can't hide behind running a different simulation.
+    for name in sorted(set(base_metrics) & set(cur_metrics)):
+        for key in ("events", "messages", "splits", "reclaims"):
+            if base_metrics[name].get(key) != cur_metrics[name].get(key):
+                print(
+                    f"note: {name}.{key} changed "
+                    f"{base_metrics[name].get(key)} -> "
+                    f"{cur_metrics[name].get(key)} (workload drift; "
+                    f"re-baseline deliberately)"
+                )
+
+    if failures:
+        print(f"\nFAIL: {failures} perf gate(s) regressed beyond "
+              f"{args.tolerance:.0%}; if intentional, regenerate "
+              f"benchmarks/baselines/perf_suite.json (docs/BENCHMARKS.md)")
+        return 1
+    print("\nok: perf trajectory within tolerance")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path,
+        default=Path("benchmarks/baselines/perf_suite.json"),
+    )
+    parser.add_argument(
+        "--current", type=Path,
+        default=Path("benchmarks/output/BENCH_perf_suite.json"),
+    )
+    parser.add_argument("--tolerance", type=float, default=0.10)
+    parser.add_argument(
+        "--raw", action="store_true",
+        help="compare unnormalized wall-clock numbers (same machine only)",
+    )
+    return check(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,12 +11,21 @@ Subcommands:
   thresholds/server capacity together, preserving the dynamics).
 * ``compare <scenario>`` — run one scenario on several backends and
   print the shared-verdict comparison table (the generalised T-static).
-* ``sweep`` — run every registered scenario back to back and print a
-  comparison table (the CLI face of the scenario-sweep benchmark).
+* ``sweep`` — run every registered scenario and print a comparison
+  table (the CLI face of the scenario-sweep benchmark); also writes the
+  ``BENCH_scenario_sweep.json`` payload (``--json`` to relocate it).
 * ``perf [scenario]`` — run one scenario with :mod:`repro.perf`
   instrumentation on and print the counter/timer/sampler report, or
   ``perf --suite`` for the consolidated throughput suite (the CLI face
   of ``benchmarks/bench_perf_suite.py``).
+
+The grid-shaped subcommands take ``--jobs N`` to fan their independent
+cells out over N ``spawn`` worker processes
+(:mod:`repro.harness.parallel`): ``sweep`` and ``perf --suite``
+parallelise over scenarios, ``compare`` over backends, and ``run`` over
+scenarios when several are named.  The default is serial, and every
+deterministic output is bit-identical whatever ``--jobs`` is — only
+wall-clock readings move.
 """
 
 from __future__ import annotations
@@ -32,8 +41,13 @@ from repro.harness.compare import (
     format_backends_table,
     scaled_profile,
 )
+from repro.harness.parallel import GridTask, run_grid
 from repro.harness.runner import backend_infos, backend_names, run_scenario
-from repro.harness.sweep import format_sweep_table, sweep_scenarios
+from repro.harness.sweep import (
+    format_sweep_table,
+    run_sweep_grid,
+    write_sweep_json,
+)
 from repro.workload.mobility import list_mobility_models
 from repro.workload.scenarios import build_scenario, scenario_names
 
@@ -133,8 +147,47 @@ def _summarize_chaos(outcome) -> None:
           f"leaked hosts {len(report.leaked_hosts)}")
 
 
+def run_summary_cell(
+    name: str,
+    backend: str,
+    scale: float,
+    seed: int,
+    duration: float | None,
+    no_faults: bool,
+) -> dict:
+    """One ``run`` fan-out cell (module-level: picklable for workers)."""
+    scenario = build_scenario(name)
+    profile, policy = _scaled_setup(scenario.game, scale)
+    options = {"seed": seed}
+    if backend == "matrix":
+        options["policy"] = policy
+    outcome = run_scenario(
+        scenario,
+        backend=backend,
+        profile=profile,
+        scale=scale,
+        preview=duration,
+        chaos=False if no_faults else "auto",
+        **options,
+    )
+    result = outcome.result
+    latencies = result.action_latencies
+    servers = getattr(result, "peak_servers_in_use", None)
+    if servers is None:
+        servers = getattr(result, "servers_used", 0)
+    return {
+        "scenario": name,
+        "events": result.events_processed,
+        "peak_queue": result.max_queue(),
+        "p99_latency": percentile(latencies, 99) if latencies else 0.0,
+        "servers": servers,
+    }
+
+
 def _cmd_run(args) -> int:
-    scenario = build_scenario(args.scenario)
+    if len(args.scenarios) > 1:
+        return _cmd_run_many(args)
+    scenario = build_scenario(args.scenarios[0])
     profile, policy = _scaled_setup(scenario.game, args.scale)
     options = {"seed": args.seed}
     if args.backend == "matrix":
@@ -153,6 +206,49 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_run_many(args) -> int:
+    """Several scenarios named: fan out and print a compact table."""
+    tasks = [
+        GridTask(
+            key=(name,),
+            fn=run_summary_cell,
+            kwargs=dict(
+                name=name,
+                backend=args.backend,
+                scale=args.scale,
+                seed=args.seed,
+                duration=args.duration,
+                no_faults=args.no_faults,
+            ),
+        )
+        for name in dict.fromkeys(args.scenarios)  # dedup, keep order
+    ]
+    cells = run_grid(
+        tasks,
+        jobs=args.jobs,
+        on_result=lambda cell: print(
+            f"ran {cell.key[0]} ({cell.wall_seconds:.1f}s)"
+        ),
+    )
+    print()
+    print(
+        f"{len(cells)} scenarios on {args.backend} "
+        f"(scale={args.scale:g}, seed={args.seed}, jobs={args.jobs or 1}):"
+    )
+    print(
+        f"{'scenario':<20} {'events':>10} {'peak q':>8} "
+        f"{'p99 (s)':>8} {'servers':>8} {'wall (s)':>9}"
+    )
+    for cell in cells:
+        row = cell.value
+        print(
+            f"{row['scenario']:<20} {row['events']:>10} "
+            f"{row['peak_queue']:>8.0f} {row['p99_latency']:>8.3f} "
+            f"{row['servers']:>8} {cell.wall_seconds:>9.1f}"
+        )
+    return 0
+
+
 def _cmd_perf(args) -> int:
     from repro.perf import format_report
 
@@ -168,9 +264,11 @@ def _cmd_perf(args) -> int:
             seed=args.seed,
             preview=args.duration,
             step_sample_every=args.sample_every,
+            jobs=args.jobs,
         )
         kernel = kernel_comparison()
-        print(f"perf suite (scale={args.scale:g}, seed={args.seed}):")
+        print(f"perf suite (scale={args.scale:g}, seed={args.seed}, "
+              f"jobs={args.jobs or 1}):")
         print(format_suite_table(scenarios))
         print()
         print(
@@ -222,27 +320,35 @@ def _cmd_compare(args) -> int:
         seed=args.seed,
         scale=args.scale,
         preview=args.duration,
+        jobs=args.jobs,
     )
     print(
         f"{scenario.name} on {len(outcomes)} backends "
-        f"(scale={args.scale:g}, seed={args.seed}):"
+        f"(scale={args.scale:g}, seed={args.seed}, jobs={args.jobs or 1}):"
     )
     print(format_backends_table(outcomes))
     return 0
 
 
 def _cmd_sweep(args) -> int:
-    rows = sweep_scenarios(
+    run = run_sweep_grid(
         args.scale,
         seed=args.seed,
         preview=args.duration,
         on_result=lambda row: print(
             f"ran {row.scenario} ({row.wall_seconds:.1f}s)"
         ),
+        jobs=args.jobs,
     )
     print()
-    print(f"scenario sweep (scale={args.scale}, seed={args.seed}):")
-    print(format_sweep_table(rows))
+    print(f"scenario sweep (scale={args.scale}, seed={args.seed}, "
+          f"jobs={run.timing['jobs']}):")
+    print(format_sweep_table(run.rows))
+    if args.json:
+        path = write_sweep_json(
+            args.json, run.rows, run.timing, args.scale, args.seed
+        )
+        print(f"\nwrote {path}")
     return 0
 
 
@@ -259,8 +365,21 @@ def main(argv: list[str] | None = None) -> int:
         "list-backends", help="show registered architecture backends"
     )
 
-    run_parser = sub.add_parser("run", help="run one registered scenario")
-    run_parser.add_argument("scenario", help="registered scenario name")
+    def add_jobs_flag(sub_parser):
+        sub_parser.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="fan independent cells out over N worker processes "
+            "(default: serial; deterministic outputs are identical "
+            "either way)",
+        )
+
+    run_parser = sub.add_parser(
+        "run", help="run one or more registered scenarios"
+    )
+    run_parser.add_argument(
+        "scenarios", nargs="+", metavar="scenario",
+        help="registered scenario name(s); several fan out (see --jobs)",
+    )
     run_parser.add_argument(
         "--backend", default="matrix", choices=backend_names()
     )
@@ -277,6 +396,7 @@ def main(argv: list[str] | None = None) -> int:
         "--no-faults", action="store_true",
         help="run a chaos scenario with its fault phases disarmed",
     )
+    add_jobs_flag(run_parser)
 
     compare_parser = sub.add_parser(
         "compare",
@@ -296,6 +416,7 @@ def main(argv: list[str] | None = None) -> int:
         "--duration", type=float, default=None,
         help="truncate the scenario to this many simulated seconds",
     )
+    add_jobs_flag(compare_parser)
 
     sweep_parser = sub.add_parser(
         "sweep", help="run every registered scenario and tabulate"
@@ -303,6 +424,13 @@ def main(argv: list[str] | None = None) -> int:
     sweep_parser.add_argument("--scale", type=float, default=0.1)
     sweep_parser.add_argument("--seed", type=int, default=0)
     sweep_parser.add_argument("--duration", type=float, default=None)
+    sweep_parser.add_argument(
+        "--json", default="benchmarks/output/BENCH_scenario_sweep.json",
+        metavar="PATH",
+        help="where to write the BENCH JSON payload (deterministic "
+        "metrics + timing section); empty string disables",
+    )
+    add_jobs_flag(sweep_parser)
 
     perf_parser = sub.add_parser(
         "perf", help="run with perf instrumentation and print the report"
@@ -322,6 +450,7 @@ def main(argv: list[str] | None = None) -> int:
         "--sample-every", type=int, default=16,
         help="sample one kernel step's wall latency out of every N",
     )
+    add_jobs_flag(perf_parser)
 
     args = parser.parse_args(argv)
     if args.command == "list-scenarios":

@@ -31,6 +31,13 @@ from repro.harness.fig2 import (
     mini_fig2_policy,
     run_fig2,
 )
+from repro.harness.parallel import (
+    GridCell,
+    GridTask,
+    GridTaskError,
+    run_grid,
+    timing_section,
+)
 from repro.harness.perfsuite import (
     SUITE_SCENARIOS,
     kernel_comparison,
@@ -64,6 +71,9 @@ __all__ = [
     "ExperimentResult",
     "Fig2Schedule",
     "GameComparison",
+    "GridCell",
+    "GridTask",
+    "GridTaskError",
     "MatrixExperiment",
     "SCALED_PERCEPTION_THRESHOLD",
     "SUITE_SCENARIOS",
@@ -92,7 +102,9 @@ __all__ = [
     "mini_fig2_policy",
     "outcome_for",
     "run_fig2",
+    "run_grid",
     "run_perf_suite",
     "run_scenario",
     "scenario_backend",
+    "timing_section",
 ]

@@ -23,6 +23,7 @@ from repro.analysis.stats import percentile
 from repro.core.config import LoadPolicyConfig
 from repro.games.profile import GameProfile, profile_by_name
 from repro.harness.fig2 import Fig2Schedule, fig2_scenario
+from repro.harness.parallel import GridTask, run_grid
 from repro.harness.runner import backend_names, run_scenario
 from repro.workload.scenarios import Scenario
 
@@ -123,6 +124,28 @@ def outcome_for(system: str, result, verdict: Verdict) -> SystemOutcome:
     )
 
 
+def compare_cell(
+    scenario: Scenario,
+    backend: str,
+    profile: GameProfile,
+    scale: float,
+    preview: float | None,
+    options: dict,
+    verdict: Verdict,
+) -> SystemOutcome:
+    """Run and grade one backend of a comparison (module-level:
+    picklable for pool workers)."""
+    result = run_scenario(
+        scenario,
+        backend=backend,
+        profile=profile,
+        scale=scale,
+        preview=preview,
+        **options,
+    ).result
+    return outcome_for(backend, result, verdict)
+
+
 def compare_backends(
     scenario: Scenario | str,
     backends: tuple[str, ...] | None = None,
@@ -135,6 +158,7 @@ def compare_backends(
     failure_queue_fraction: float = 0.5,
     failure_latency_factor: float = 4.0,
     backend_options: dict[str, dict] | None = None,
+    jobs: int | None = None,
 ) -> list[SystemOutcome]:
     """Run *scenario* on every backend in *backends*; grade uniformly.
 
@@ -146,6 +170,8 @@ def compare_backends(
     the Matrix run additionally receives *policy* (scale it coherently
     with ``LoadPolicyConfig.scaled``).  *backend_options* adds
     per-backend keyword options (e.g. ``{"mirrored": {"mirrors": 4}}``).
+    ``jobs`` runs the backends in parallel worker processes; outcomes
+    are returned in *backends* order regardless.
     """
     from repro.baselines.p2p import DEFAULT_UPLINK_BYTES_PER_S
     if backends is None:
@@ -164,8 +190,8 @@ def compare_backends(
         queue_fraction=failure_queue_fraction,
         latency_bound=failure_latency_factor / profile.snapshot_hz,
     )
-    outcomes = []
-    for backend in backends:
+    tasks = []
+    for index, backend in enumerate(backends):
         options = dict((backend_options or {}).get(backend, {}))
         options.setdefault("seed", seed)
         if backend == "matrix":
@@ -176,16 +202,24 @@ def compare_backends(
             options.setdefault(
                 "uplink_capacity", DEFAULT_UPLINK_BYTES_PER_S * scale
             )
-        result = run_scenario(
-            scenario,
-            backend=backend,
-            profile=profile,
-            scale=scale,
-            preview=preview,
-            **options,
-        ).result
-        outcomes.append(outcome_for(backend, result, verdict))
-    return outcomes
+        # The key leads with the caller's index so the merged order is
+        # the caller's backend order, not alphabetical.
+        tasks.append(
+            GridTask(
+                key=(index, backend),
+                fn=compare_cell,
+                kwargs=dict(
+                    scenario=scenario,
+                    backend=backend,
+                    profile=profile,
+                    scale=scale,
+                    preview=preview,
+                    options=options,
+                    verdict=verdict,
+                ),
+            )
+        )
+    return [cell.value for cell in run_grid(tasks, jobs=jobs)]
 
 
 def compare_game(

@@ -1,0 +1,241 @@
+"""Picklable per-cell functions for the benchmark grids.
+
+:mod:`repro.harness.parallel` ships cells to ``spawn`` workers by
+pickling a module-level function plus primitive kwargs; this module is
+where those functions live for the architecture-matrix and chaos-suite
+grids (the sweep and perf-suite cells live next to their grids in
+:mod:`repro.harness.sweep` / :mod:`repro.harness.perfsuite`).  Each
+cell rebuilds its scaled policy/profile from primitives inside the
+worker and returns a plain dict of *deterministic* metrics — wall-clock
+readings are taken by the pool around the cell, never mixed into the
+payload, so merged ``BENCH_*.json`` metrics byte-diff across job
+counts.
+
+``backend_run_options`` also lives here (it used to sit in
+``benchmarks/common.py``) so the arch-matrix grid, the chaos grid and
+any future grid consumer share one definition of how a scaled grid
+cell parameterises each backend.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import percentile
+from repro.core.config import LoadPolicyConfig
+
+#: Message-kind prefixes that constitute each backend's consistency
+#: traffic (what it spends to keep replicas/peers/lookups coherent).
+CONSISTENCY_PREFIXES = {
+    "matrix": ("matrix.forward",),
+    "static": ("matrix.forward",),
+    "mirrored": ("mirror.",),
+    "p2p": ("p2p.",),
+    "dht": ("matrix.forward", "dht."),
+}
+
+
+def backend_run_options(
+    backend: str,
+    scale: float,
+    policy: LoadPolicyConfig,
+    seed: int = 1,
+    queue_capacity: int | None = None,
+) -> dict:
+    """Per-backend ``run_scenario`` options for a scaled grid cell.
+
+    Shared by the architecture-matrix and chaos-suite grids so their
+    grading conditions cannot drift: the matrix backend takes the
+    scaled policy, and the p2p consumer uplink scales with the
+    population (like ``compare_backends``) or its bottleneck silently
+    vanishes.  With *queue_capacity* the baselines additionally get
+    the scaled queue cap (the chaos grid grades drops; the arch grid
+    keeps each backend's default cap).
+    """
+    options: dict = {"seed": seed}
+    if backend == "matrix":
+        options["policy"] = policy
+    elif queue_capacity is not None:
+        options["queue_capacity"] = max(int(queue_capacity * scale), 100)
+    if backend == "p2p":
+        from repro.baselines.p2p import DEFAULT_UPLINK_BYTES_PER_S
+
+        options["uplink_capacity"] = DEFAULT_UPLINK_BYTES_PER_S * scale
+    return options
+
+
+def _scaled_setup(game: str, scale: float):
+    from repro.games.profile import profile_by_name
+    from repro.harness.compare import scaled_profile
+
+    return (
+        scaled_profile(profile_by_name(game), scale),
+        LoadPolicyConfig().scaled(scale, floor_overload=6, floor_underload=3),
+    )
+
+
+def arch_matrix_cell(
+    backend: str,
+    name: str,
+    scale: float,
+    preview: float,
+    seed: int,
+) -> dict:
+    """One architecture-matrix cell: *name* on *backend*, scaled.
+
+    Returns the four numbers the architectures trade off — peak receive
+    queue, consistency bytes, routing-lookup latency, p99 response
+    latency — plus drops and the event count.  Deterministic only: the
+    pool records the cell's wall clock separately.
+    """
+    from repro.harness.runner import run_scenario
+
+    profile, policy = _scaled_setup(_scenario_game(name), scale)
+    options = backend_run_options(backend, scale, policy, seed=seed)
+    outcome = run_scenario(
+        name,
+        backend=backend,
+        profile=profile,
+        scale=scale,
+        preview=preview,
+        **options,
+    )
+    result = outcome.result
+    stats = result.traffic
+    consistency_bytes = sum(
+        stats.kind_bytes(prefix) for prefix in CONSISTENCY_PREFIXES[backend]
+    )
+    latencies = result.action_latencies
+    consistency = getattr(result, "consistency", {}) or {}
+    return {
+        "peak_queue": result.max_queue(),
+        "dropped": float(getattr(result, "dropped_packets", 0)),
+        "consistency_bytes": float(consistency_bytes),
+        "lookup_latency_ms": (
+            consistency.get("mean_lookup_latency", 0.0) * 1000.0
+        ),
+        "p99_latency_ms": (
+            percentile(latencies, 99) * 1000.0 if latencies else 0.0
+        ),
+        "events": float(
+            getattr(result, "events_processed", 0)
+            or outcome.experiment.sim.events_processed
+        ),
+    }
+
+
+def _scenario_game(name: str) -> str:
+    from repro.workload.scenarios import build_scenario
+
+    return build_scenario(name).game
+
+
+def chaos_recovery_cell(
+    name: str,
+    scale: float,
+    preview: float,
+    settle: float,
+    seed: int,
+) -> dict:
+    """One matrix-recovery cell: *name* with an injected mid-run server
+    crash and coordinator failover, then a settle window and the
+    leak/coverage audit.  All returned fields are simulation-time
+    quantities — deterministic for a given seed."""
+    from repro.chaos import ChaosOptions
+    from repro.harness.runner import run_scenario
+    from repro.workload.scenarios import (
+        CoordinatorCrash,
+        ServerCrash,
+        build_scenario,
+    )
+
+    scenario = build_scenario(name)
+    profile, policy = _scaled_setup(scenario.game, scale)
+    horizon = min(scenario.duration, preview)
+    chaos = ChaosOptions(
+        extra_faults=(
+            ServerCrash(at=horizon * 0.4, victim="busiest"),
+            CoordinatorCrash(at=horizon * 0.55),
+        )
+    )
+    outcome = run_scenario(
+        scenario,
+        backend="matrix",
+        profile=profile,
+        policy=policy,
+        scale=scale,
+        preview=preview,
+        seed=seed,
+        chaos=chaos,
+    )
+    experiment = outcome.experiment
+    experiment.sim.run(until=horizon + settle)
+    report = experiment.chaos.report()
+    deployment = experiment.deployment
+    coordinator = deployment.coordinator
+    standby = deployment.standby_coordinator
+    if standby is not None and standby.promoted:
+        coordinator = standby
+    recovery_times = report.recovery_times()
+    injected = [f for f in report.faults if f.status == "injected"]
+    return {
+        "faults_injected": len(injected),
+        "faults_skipped": len(report.faults) - len(injected),
+        "crashes_detected": len(report.recoveries),
+        "recovery_times": recovery_times,
+        "max_recovery_time": max(recovery_times, default=0.0),
+        "all_recovered": report.all_recovered(),
+        "mc_promoted_at": report.mc_promoted_at,
+        "packets_lost": report.undeliverable_packets,
+        "client_rejoins": report.client_rejoins,
+        "leaked_hosts": len(report.leaked_hosts),
+        "coverage_ratio": (
+            coordinator.coverage_area() / experiment.profile.world.area
+        ),
+    }
+
+
+def chaos_fault_cell(
+    backend: str,
+    name: str,
+    scale: float,
+    preview: float,
+    seed: int,
+    queue_capacity: int,
+) -> dict:
+    """One backend × fault cell: chaos scenario *name* on *backend*,
+    graded with the shared compare verdict."""
+    from repro.harness.compare import Verdict, outcome_for
+    from repro.harness.runner import run_scenario
+    from repro.workload.scenarios import build_scenario
+
+    scenario = build_scenario(name)
+    profile, policy = _scaled_setup(scenario.game, scale)
+    options = backend_run_options(
+        backend, scale, policy, seed=seed, queue_capacity=queue_capacity
+    )
+    outcome = run_scenario(
+        scenario,
+        backend=backend,
+        profile=profile,
+        scale=scale,
+        preview=preview,
+        **options,
+    )
+    verdict = Verdict(
+        queue_capacity=max(int(queue_capacity * scale), 100),
+        queue_fraction=0.5,
+        latency_bound=4.0 / profile.snapshot_hz,
+    )
+    graded = outcome_for(backend, outcome.result, verdict)
+    report = outcome.experiment.chaos.report()
+    return {
+        "verdict": "FAILS" if graded.failed else "ok",
+        "peak_queue": graded.peak_queue,
+        "dropped": graded.dropped_packets,
+        "p99_latency": graded.p99_latency,
+        "packets_lost": report.undeliverable_packets,
+        "link_dropped": report.link_dropped,
+        "link_duplicated": report.link_duplicated,
+        "faults_unsupported": sum(
+            1 for f in report.faults if f.status == "unsupported"
+        ),
+    }

@@ -27,6 +27,7 @@ from typing import Any, Callable
 
 from repro.core.config import LoadPolicyConfig, PerfConfig
 from repro.games.profile import profile_by_name
+from repro.harness.parallel import GridTask, run_grid
 from repro.harness.runner import run_scenario
 from repro.sim.events import EventQueue
 from repro.workload.scenarios import build_scenario
@@ -39,20 +40,34 @@ SUITE_SCENARIOS: tuple[str, ...] = (
     "steady-churn",
 )
 
-#: Per-scenario keys of the ``BENCH_perf_suite.json`` metrics —
-#: the contract the schema-regression test pins.
-SCENARIO_METRIC_KEYS: frozenset[str] = frozenset(
+#: The deterministic per-scenario keys: identical for a given
+#: (scale, seed) whatever the machine, job count or scheduling.  These
+#: form the ``metrics`` half of ``BENCH_perf_suite.json``.
+SCENARIO_DETERMINISTIC_KEYS: frozenset[str] = frozenset(
     {
         "events",
         "messages",
+        "splits",
+        "reclaims",
+    }
+)
+
+#: The wall-clock-dependent per-scenario keys, split into the BENCH
+#: ``timing`` section so the deterministic payload stays byte-diffable.
+SCENARIO_TIMING_KEYS: frozenset[str] = frozenset(
+    {
         "wall_seconds",
         "events_per_sec",
         "messages_per_sec",
         "step_p50_us",
         "step_p99_us",
-        "splits",
-        "reclaims",
     }
+)
+
+#: Per-scenario keys of the in-memory suite rows (the union of the two
+#: sections) — the contract the schema-regression test pins.
+SCENARIO_METRIC_KEYS: frozenset[str] = (
+    SCENARIO_DETERMINISTIC_KEYS | SCENARIO_TIMING_KEYS
 )
 
 #: Keys of the kernel micro-comparison block.
@@ -66,61 +81,118 @@ KERNEL_METRIC_KEYS: frozenset[str] = frozenset(
 )
 
 
-def run_perf_suite(
+def perf_suite_cell(
+    name: str,
     scale: float,
-    seed: int = 1,
-    scenarios: tuple[str, ...] = SUITE_SCENARIOS,
-    preview: float | None = None,
-    step_sample_every: int = 16,
-) -> dict[str, dict[str, float]]:
-    """Per-scenario throughput + step-latency metrics at *scale*.
+    seed: int,
+    preview: float | None,
+    step_sample_every: int,
+) -> dict[str, float]:
+    """One perf-suite cell (module-level: picklable for pool workers).
 
-    Each scenario runs twice: once plain (wall-clock throughput) and
+    The scenario runs twice: once plain (wall-clock throughput) and
     once with :mod:`repro.perf` instrumentation on (step-latency
     percentiles).  Both runs are simulation-identical — instrumentation
     is observation-only — so the pairing is sound.
     """
     from repro.harness.compare import scaled_profile  # local: avoid cycle
 
-    results: dict[str, dict[str, float]] = {}
-    for name in scenarios:
-        scenario = build_scenario(name)
-        profile = scaled_profile(profile_by_name(scenario.game), scale)
-        policy = LoadPolicyConfig().scaled(scale)
-        common = dict(
-            profile=profile,
-            scale=scale,
-            preview=preview,
-            policy=policy,
-            seed=seed,
-        )
-        started = time.perf_counter()
-        outcome = run_scenario(scenario, **common)
-        wall = time.perf_counter() - started
-        result = outcome.result
+    scenario = build_scenario(name)
+    profile = scaled_profile(profile_by_name(scenario.game), scale)
+    policy = LoadPolicyConfig().scaled(scale)
+    common = dict(
+        profile=profile,
+        scale=scale,
+        preview=preview,
+        policy=policy,
+        seed=seed,
+    )
+    started = time.perf_counter()
+    outcome = run_scenario(scenario, **common)
+    wall = time.perf_counter() - started
+    result = outcome.result
 
-        instrumented = run_scenario(
-            scenario,
-            perf=PerfConfig(
-                enabled=True, step_sample_every=step_sample_every
+    instrumented = run_scenario(
+        scenario,
+        perf=PerfConfig(enabled=True, step_sample_every=step_sample_every),
+        **common,
+    )
+    snapshot = instrumented.result.perf_snapshot
+    step = snapshot["timers"].get("sim.step", {})
+
+    return {
+        "events": result.events_processed,
+        "messages": result.traffic.total.messages,
+        "wall_seconds": wall,
+        "events_per_sec": result.events_processed / wall,
+        "messages_per_sec": result.traffic.total.messages / wall,
+        "step_p50_us": step.get("p50_us", 0.0),
+        "step_p99_us": step.get("p99_us", 0.0),
+        "splits": result.splits_completed,
+        "reclaims": result.reclaims_completed,
+    }
+
+
+def run_perf_suite(
+    scale: float,
+    seed: int = 1,
+    scenarios: tuple[str, ...] = SUITE_SCENARIOS,
+    preview: float | None = None,
+    step_sample_every: int = 16,
+    jobs: int | None = None,
+) -> dict[str, dict[str, float]]:
+    """Per-scenario throughput + step-latency metrics at *scale*.
+
+    ``jobs`` fans the scenarios out over worker processes via
+    :func:`repro.harness.parallel.run_grid`.  The deterministic keys
+    (:data:`SCENARIO_DETERMINISTIC_KEYS`) are job-count-independent;
+    the timing keys are wall-clock measurements and — like any timing —
+    get noisier when cells share cores, so throughput trajectories
+    should be compared at the same ``jobs``.
+    """
+    tasks = [
+        GridTask(
+            key=(name,),
+            fn=perf_suite_cell,
+            kwargs=dict(
+                name=name,
+                scale=scale,
+                seed=seed,
+                preview=preview,
+                step_sample_every=step_sample_every,
             ),
-            **common,
         )
-        snapshot = instrumented.result.perf_snapshot
-        step = snapshot["timers"].get("sim.step", {})
+        for name in scenarios
+    ]
+    cells = run_grid(tasks, jobs=jobs)
+    merged = {cell.key[0]: cell.value for cell in cells}
+    # Preserve the caller's scenario order (the suite table reads
+    # hotspot-first), not the grid's canonical sort.
+    return {name: merged[name] for name in scenarios}
 
-        results[name] = {
-            "events": result.events_processed,
-            "messages": result.traffic.total.messages,
-            "wall_seconds": wall,
-            "events_per_sec": result.events_processed / wall,
-            "messages_per_sec": result.traffic.total.messages / wall,
-            "step_p50_us": step.get("p50_us", 0.0),
-            "step_p99_us": step.get("p99_us", 0.0),
-            "splits": result.splits_completed,
-            "reclaims": result.reclaims_completed,
+
+def split_timing(
+    results: dict[str, dict[str, float]],
+) -> tuple[dict, dict]:
+    """Split suite rows into (deterministic, timing) per-scenario dicts
+    — the two sections of ``BENCH_perf_suite.json``."""
+    deterministic = {
+        name: {
+            key: value
+            for key, value in row.items()
+            if key in SCENARIO_DETERMINISTIC_KEYS
         }
-    return results
+        for name, row in results.items()
+    }
+    timing = {
+        name: {
+            key: value
+            for key, value in row.items()
+            if key in SCENARIO_TIMING_KEYS
+        }
+        for name, row in results.items()
+    }
+    return deterministic, timing
 
 
 # ----------------------------------------------------------------------

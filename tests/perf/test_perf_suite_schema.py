@@ -7,12 +7,15 @@ a miniature suite run.
 
 from repro.harness.perfsuite import (
     KERNEL_METRIC_KEYS,
+    SCENARIO_DETERMINISTIC_KEYS,
     SCENARIO_METRIC_KEYS,
+    SCENARIO_TIMING_KEYS,
     SUITE_SCENARIOS,
     RichComparisonEventQueue,
     drain_throughput,
     kernel_comparison,
     run_perf_suite,
+    split_timing,
 )
 from repro.sim.events import EventQueue
 
@@ -34,6 +37,21 @@ def test_scenario_metrics_schema_is_stable():
     assert row["events_per_sec"] > 0
     assert row["messages_per_sec"] > 0
     assert row["step_p99_us"] >= row["step_p50_us"] >= 0.0
+
+
+def test_metric_keys_partition_into_deterministic_and_timing():
+    # The BENCH schema split: the two sections are disjoint and cover
+    # every per-scenario key, so nothing wall-clock can leak into the
+    # byte-diffable metrics payload (or vice versa).
+    assert SCENARIO_DETERMINISTIC_KEYS & SCENARIO_TIMING_KEYS == frozenset()
+    assert (
+        SCENARIO_DETERMINISTIC_KEYS | SCENARIO_TIMING_KEYS
+        == SCENARIO_METRIC_KEYS
+    )
+    rows = {"steady-churn": {key: 1.0 for key in SCENARIO_METRIC_KEYS}}
+    deterministic, timing = split_timing(rows)
+    assert set(deterministic["steady-churn"]) == SCENARIO_DETERMINISTIC_KEYS
+    assert set(timing["steady-churn"]) == SCENARIO_TIMING_KEYS
 
 
 def test_kernel_comparison_schema_is_stable():
