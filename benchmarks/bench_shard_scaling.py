@@ -1,0 +1,161 @@
+"""Shard-scaling bench: the space-partitioned kernel at 1/2/4 shards.
+
+Runs fig2-hotspot end to end on the sharded engine at increasing shard
+counts and records two very different things:
+
+* **metrics** (deterministic, byte-diffable): per-shard-count event and
+  message totals, split/reclaim counts, the SHA-256 of the canonical
+  ``TrafficStats`` digest, cross-border traffic and window counts —
+  plus the headline determinism verdict: every deterministic quantity
+  must be *identical at every shard count*.  This is the tentpole's
+  hard acceptance bar and is asserted, not just recorded.
+* **timing** (machine-dependent, never gated): wall seconds per shard
+  count and the resulting speedup-vs-1-shard curve, with the host's
+  ``cpu_count`` alongside — on a single-core CPython host (the GIL
+  plus one core) the curve honestly records the sync overhead rather
+  than a fabricated speedup; on multi-core free-threaded hosts the
+  same JSON records the real scaling.  ``scripts/check_perf_regression.py``
+  tolerates this section (see docs/BENCHMARKS.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+
+from common import SCALE, SEED, record, record_json
+
+from repro.core.config import LoadPolicyConfig
+from repro.games.profile import profile_by_name
+from repro.harness.compare import scaled_profile
+from repro.harness.runner import run_scenario
+from repro.workload.scenarios import build_scenario
+
+SHARD_COUNTS = (1, 2, 4)
+SCENARIO = "fig2-hotspot"
+#: The suite's usual fraction: keeps the four full-duration runs
+#: (three serial counts + one thread-executor row) minutes-scale.
+SHARD_SCALE = SCALE * 0.6
+
+
+def shard_run(shards: int, executor: str = "serial") -> tuple[dict, float]:
+    """One full sharded run; returns (deterministic row, wall seconds)."""
+    scenario = build_scenario(SCENARIO)
+    profile = scaled_profile(profile_by_name(scenario.game), SHARD_SCALE)
+    policy = LoadPolicyConfig().scaled(SHARD_SCALE)
+    started = time.perf_counter()
+    outcome = run_scenario(
+        scenario,
+        profile=profile,
+        scale=SHARD_SCALE,
+        policy=policy,
+        seed=SEED,
+        shards=shards,
+        shard_executor=executor,
+    )
+    wall = time.perf_counter() - started
+    result = outcome.result
+    network = outcome.experiment.network
+    row = {
+        "events": result.events_processed,
+        "messages": result.traffic.total.messages,
+        "bytes": result.traffic.total.bytes,
+        "splits": result.splits_completed,
+        "reclaims": result.reclaims_completed,
+        "traffic_sha256": hashlib.sha256(
+            result.traffic.canonical_digest().encode()
+        ).hexdigest(),
+        "cross_border": network.cross_border_count,
+        "windows": outcome.experiment.sim.windows_run,
+    }
+    return row, wall
+
+
+#: Keys that must be identical at every shard count.  ``cross_border``
+#: is excluded by construction (it counts boundary crossings, which
+#: exist only when there *are* boundaries); ``windows`` is shard-count
+#: invariant too because the barrier grid depends only on event times.
+INVARIANT_KEYS = (
+    "events",
+    "messages",
+    "bytes",
+    "splits",
+    "reclaims",
+    "traffic_sha256",
+    "windows",
+)
+
+
+def test_shard_scaling(benchmark):
+    rows: dict[str, dict] = {}
+    walls: dict[str, float] = {}
+
+    def run_all():
+        for shards in SHARD_COUNTS:
+            row, wall = shard_run(shards)
+            rows[str(shards)] = row
+            walls[str(shards)] = wall
+        # One thread-executor row at the top count: proves the protocol
+        # is executor-independent and records what threads cost/buy.
+        row, wall = shard_run(SHARD_COUNTS[-1], executor="thread")
+        rows[f"{SHARD_COUNTS[-1]}-thread"] = row
+        walls[f"{SHARD_COUNTS[-1]}-thread"] = wall
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    reference = rows[str(SHARD_COUNTS[0])]
+    identical = all(
+        rows[key][name] == reference[name]
+        for key in rows
+        for name in INVARIANT_KEYS
+    )
+    speedups = {
+        str(shards): walls["1"] / walls[str(shards)]
+        for shards in SHARD_COUNTS
+        if shards != 1
+    }
+
+    lines = [
+        f"shard scaling ({SCENARIO}, scale={SHARD_SCALE:g}, seed={SEED}, "
+        f"cpu_count={os.cpu_count()}):",
+        f"{'shards':>10} {'events':>10} {'messages':>10} {'cross':>8} "
+        f"{'wall s':>8} {'speedup':>8}",
+    ]
+    for key, row in rows.items():
+        speedup = walls["1"] / walls[key]
+        lines.append(
+            f"{key:>10} {row['events']:>10} {row['messages']:>10} "
+            f"{row['cross_border']:>8} {walls[key]:>8.2f} {speedup:>7.2f}x"
+        )
+    lines.append(
+        "deterministic outputs identical across shard counts: "
+        f"{identical}"
+    )
+    record("shard_scaling", "\n".join(lines))
+
+    record_json(
+        "shard_scaling",
+        {
+            "scenario": SCENARIO,
+            "shard_scale": SHARD_SCALE,
+            "shard_counts": list(SHARD_COUNTS),
+            "per_shards": rows,
+            "identical_across_shard_counts": identical,
+        },
+        timing={
+            "cpu_count": os.cpu_count(),
+            "executor": "serial (plus one thread row at the top count)",
+            "wall_seconds": walls,
+            "speedup_vs_1shard": speedups,
+        },
+    )
+
+    # The hard acceptance bar: bit-identical results at any worker
+    # count.  The speedup curve is recorded, never asserted — it is a
+    # property of the host (core count, GIL), not of the code.
+    assert identical, "sharded runs diverged across shard counts"
+    for row in rows.values():
+        assert row["events"] > 0
+    assert rows["4"]["cross_border"] > 0, "4-shard run saw no border traffic"

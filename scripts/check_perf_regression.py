@@ -20,6 +20,14 @@ and ``step_p99_us * legacy_events_per_sec`` cancel machine speed to
 first order, so what remains is the *code's* trajectory.  ``--raw``
 compares unnormalized wall-clock numbers (same-machine A/B runs).
 
+``--shard-bench`` (default ``benchmarks/output/BENCH_shard_scaling.json``)
+additionally checks the sharded-kernel bench when present: its
+``metrics.identical_across_shard_counts`` verdict is a hard gate (a
+determinism break is a correctness bug, machine-independent), while its
+``timing`` section — wall seconds and the speedup-vs-1-shard curve,
+which depend entirely on the host's core count and GIL — is printed
+informationally and **never** gated.
+
 Exit status: 0 all gates pass, 1 regression, 2 unusable inputs.
 """
 
@@ -59,6 +67,40 @@ def normalizer(kernel: dict, raw: bool) -> float:
             "cannot normalize (use --raw for same-machine comparisons)"
         )
     return legacy
+
+
+def check_shard_bench(path: Path) -> int:
+    """Gate the shard bench's determinism verdict; tolerate its timing.
+
+    Returns the number of failures (0 or 1).  A missing file is fine —
+    the shard bench is optional in reduced CI runs.
+    """
+    if not path.exists():
+        print(f"note: shard bench {path} not found; skipping")
+        return 0
+    try:
+        payload = json.loads(path.read_text())
+        metrics = payload["metrics"]
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        raise SystemExit(f"error: cannot read shard bench {path}: {error}")
+    timing = payload.get("timing") or {}
+    for shards, speedup in sorted(
+        (timing.get("speedup_vs_1shard") or {}).items()
+    ):
+        print(
+            f"note: shard bench speedup at {shards} shards: {speedup:.2f}x "
+            f"(machine-dependent — cpu_count={timing.get('cpu_count')}; "
+            f"tolerated, never gated)"
+        )
+    if metrics.get("identical_across_shard_counts") is not True:
+        print(
+            "FAIL: shard bench deterministic outputs diverged across "
+            "shard counts (metrics.identical_across_shard_counts)"
+        )
+        return 1
+    print("ok: shard bench deterministic outputs identical across "
+          "shard counts")
+    return 0
 
 
 def check(args: argparse.Namespace) -> int:
@@ -133,6 +175,8 @@ def check(args: argparse.Namespace) -> int:
                     f"re-baseline deliberately)"
                 )
 
+    failures += check_shard_bench(args.shard_bench)
+
     if failures:
         print(f"\nFAIL: {failures} perf gate(s) regressed beyond "
               f"{args.tolerance:.0%}; if intentional, regenerate "
@@ -151,6 +195,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--current", type=Path,
         default=Path("benchmarks/output/BENCH_perf_suite.json"),
+    )
+    parser.add_argument(
+        "--shard-bench", type=Path,
+        default=Path("benchmarks/output/BENCH_shard_scaling.json"),
+        help="shard-scaling bench to check (determinism gated, timing "
+             "tolerated); skipped when the file is absent",
     )
     parser.add_argument("--tolerance", type=float, default=0.10)
     parser.add_argument(

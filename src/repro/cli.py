@@ -154,6 +154,8 @@ def run_summary_cell(
     seed: int,
     duration: float | None,
     no_faults: bool,
+    shards: int | None = None,
+    shard_executor: str = "serial",
 ) -> dict:
     """One ``run`` fan-out cell (module-level: picklable for workers)."""
     scenario = build_scenario(name)
@@ -161,6 +163,9 @@ def run_summary_cell(
     options = {"seed": seed}
     if backend == "matrix":
         options["policy"] = policy
+        if shards is not None:
+            options["shards"] = shards
+            options["shard_executor"] = shard_executor
     outcome = run_scenario(
         scenario,
         backend=backend,
@@ -189,9 +194,15 @@ def _cmd_run(args) -> int:
         return _cmd_run_many(args)
     scenario = build_scenario(args.scenarios[0])
     profile, policy = _scaled_setup(scenario.game, args.scale)
+    if args.shards is not None and args.backend != "matrix":
+        print("error: --shards only applies to the matrix backend")
+        return 2
     options = {"seed": args.seed}
     if args.backend == "matrix":
         options["policy"] = policy
+        if args.shards is not None:
+            options["shards"] = args.shards
+            options["shard_executor"] = args.shard_executor
     started = time.perf_counter()
     outcome = run_scenario(
         scenario,
@@ -219,6 +230,8 @@ def _cmd_run_many(args) -> int:
                 seed=args.seed,
                 duration=args.duration,
                 no_faults=args.no_faults,
+                shards=args.shards if args.backend == "matrix" else None,
+                shard_executor=args.shard_executor,
             ),
         )
         for name in dict.fromkeys(args.scenarios)  # dedup, keep order
@@ -395,6 +408,17 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument(
         "--no-faults", action="store_true",
         help="run a chaos scenario with its fault phases disarmed",
+    )
+    run_parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run the matrix backend on the space-partitioned parallel "
+        "kernel with N shards (same seed gives identical results at "
+        "any N; incompatible with chaos faults)",
+    )
+    run_parser.add_argument(
+        "--shard-executor", default="serial",
+        choices=("serial", "thread"),
+        help="how shard lanes execute their windows (default: serial)",
     )
     add_jobs_flag(run_parser)
 

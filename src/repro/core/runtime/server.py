@@ -52,6 +52,10 @@ class MatrixServer(Node):
         strategy: SplitStrategy | None = None,
     ) -> None:
         super().__init__(name, service_rate=config.matrix_service_rate)
+        # Spawn-time partition centre: identical to the co-located game
+        # server's anchor, so the sharded network homes the pair on one
+        # lane (their loopback link must never cross a shard boundary).
+        self.shard_anchor = partition.center
         self.ctx = ServerContext(
             node=self,
             config=config,

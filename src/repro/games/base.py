@@ -82,6 +82,11 @@ class GameServer(Node):
         )
         self._profile = profile
         self._range = partition
+        #: Where the sharded network homes this node: the partition's
+        #: centre *at spawn time*.  Splits shrink ``_range`` later, but
+        #: lane placement is static, so the anchor must not move — and
+        #: it matches the co-located Matrix server's anchor exactly.
+        self.shard_anchor = partition.center
         self._report_interval = report_interval
         # Handoff hysteresis: a roaming client is only switched once it
         # wanders this far *outside* the range, so border loiterers do
@@ -379,6 +384,7 @@ class GameClient(Node):
         relocate: Callable[[Vec2], str] | None = None,
         switch_timeout: float = 5.0,
         rejoin_timeout: float | None = None,
+        position: Vec2 | None = None,
     ) -> None:
         super().__init__(name)
         self._profile = profile
@@ -396,7 +402,11 @@ class GameClient(Node):
         self._server: str | None = None
         self._pending: str | None = None
         self._switch_started: float | None = None
-        self._position = Vec2(0.0, 0.0)
+        self._position = position if position is not None else Vec2(0.0, 0.0)
+        #: Lane placement for the sharded network: the spawn position.
+        #: The client roams afterwards, but cross-shard client links are
+        #: WAN-class, so a stale home lane never violates lookahead.
+        self.shard_anchor = self._position
         self._seq = 0
         self._action_seq = 0
         self._pending_actions: dict[int, float] = {}

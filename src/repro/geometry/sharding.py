@@ -1,0 +1,62 @@
+"""Shard assignment: mapping world positions to parallel-kernel lanes.
+
+The sharded simulation engine (:mod:`repro.sim.sharded`) runs one lane
+per *shard* — a static rectangular tile of the world.  Matrix
+partitions split and merge dynamically, but a server pair's anchor (its
+partition's centre at spawn time) always lands in exactly one tile, so
+this map is all the engine needs to place nodes: it never has to move
+a node between lanes.
+
+The tiling is deliberately the same :func:`~repro.geometry.rect.tile_world`
+grid the static-partitioning baseline uses, indexed by the same
+:class:`~repro.geometry.regions.PartitionIndex` bisection structure the
+Matrix Coordinator uses for owner lookups.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.rect import Rect, tile_world
+from repro.geometry.regions import PartitionIndex
+from repro.geometry.vec import Vec2
+
+__all__ = ["ShardMap", "grid_shape"]
+
+
+def grid_shape(shards: int) -> tuple[int, int]:
+    """Columns x rows of the shard tiling (1→1x1, 2→2x1, 4→2x2, 8→4x2).
+
+    The most square factorisation, biased wide: worlds here are square,
+    and near-square tiles minimise the border over which cross-shard
+    traffic flows.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    rows = int(math.isqrt(shards))
+    while shards % rows != 0:
+        rows -= 1
+    return shards // rows, rows
+
+
+class ShardMap:
+    """Static point → shard-lane assignment over a world rectangle."""
+
+    def __init__(self, world: Rect, shards: int) -> None:
+        columns, rows = grid_shape(shards)
+        self.world = world
+        self.shard_count = shards
+        self.tiles = tile_world(world, columns, rows)
+        self._index = PartitionIndex(dict(enumerate(self.tiles)))
+        # Half-open tiles: clamp queries just inside the max edges so
+        # positions sitting exactly on the world boundary still resolve.
+        self._xmax = math.nextafter(world.xmax, -math.inf)
+        self._ymax = math.nextafter(world.ymax, -math.inf)
+
+    def lane_for_point(self, point: Vec2) -> int:
+        """The shard lane owning *point* (out-of-world points clamp in)."""
+        x = min(max(point.x, self.world.xmin), self._xmax)
+        y = min(max(point.y, self.world.ymin), self._ymax)
+        lane = self._index.lookup(Vec2(x, y))
+        assert lane is not None  # clamped points always resolve
+        return lane

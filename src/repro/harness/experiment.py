@@ -126,10 +126,8 @@ class MatrixExperiment:
         #: shared by the kernel, the network and (through the network)
         #: every runtime/geometry hook of this deployment.
         self.perf = self.config.perf.build_registry()
-        self.sim = Simulator(perf=self.perf)
-        self.network = Network(
-            self.sim, rng=self.rng.stream("network"), perf=self.perf
-        )
+        self.sim = self._build_sim()
+        self.network = self._build_network()
         self.deployment = MatrixDeployment(
             self.sim,
             self.network,
@@ -155,6 +153,17 @@ class MatrixExperiment:
         )
         self._sampler = Sampler(self.sim, sample_period, self._probes)
         self._peak_servers = 1
+
+    # ------------------------------------------------------------------
+    # Substrate factories (overridden by the sharded experiment)
+    # ------------------------------------------------------------------
+    def _build_sim(self) -> Simulator:
+        return Simulator(perf=self.perf)
+
+    def _build_network(self) -> Network:
+        return Network(
+            self.sim, rng=self.rng.stream("network"), perf=self.perf
+        )
 
     def fault_nodes(self) -> list:
         """Server-class nodes a chaos ``LinkDegrade`` installs stages on
@@ -229,7 +238,13 @@ class MatrixExperiment:
             queue_per_server=queue_per_server,
             server_count=self._sampler.series.get("servers", TimeSeries()),
             total_clients=self._sampler.series.get("clients", TimeSeries()),
-            server_events=list(self.deployment.events),
+            # Stable time-sort: a no-op for the single-kernel run (the
+            # list is appended in execution order, which is time order),
+            # but parallel lanes append interleaved — sorting restores a
+            # shard-count-independent canonical order.
+            server_events=sorted(
+                self.deployment.events, key=lambda event: event.time
+            ),
             traffic=self.network.stats,
             action_latencies=self.fleet.all_action_latencies(),
             switch_latencies=self.fleet.all_switch_latencies(),

@@ -90,8 +90,13 @@ class GridTaskError(RuntimeError):
     def __init__(self, key: tuple, worker_traceback: str):
         self.key = key
         self.worker_traceback = worker_traceback
+        # Lead with the canonical slash-joined key (the same form the
+        # timing sections use) so a multi-cell CI failure names its
+        # cell in the first line, before the pasted traceback.
+        canonical = "/".join(str(part) for part in key)
         super().__init__(
-            f"grid cell {key!r} failed in its worker:\n{worker_traceback}"
+            f"grid cell {canonical} (key={key!r}) failed in its worker:\n"
+            f"{worker_traceback}"
         )
 
 

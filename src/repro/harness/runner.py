@@ -159,20 +159,45 @@ def _run_matrix(
     sample_period: float = 1.0,
     chaos: ChaosOptions | None = None,
     replicated_mc: bool | None = None,
+    shards: int | None = None,
+    shard_executor: str = "serial",
 ) -> tuple[ExperimentResult, MatrixExperiment]:
     if replicated_mc is None:
         replicated_mc = _wants_standby_mc(scenario, chaos)
-    experiment = MatrixExperiment(
-        profile,
-        policy=policy,
-        middleware=middleware,
-        perf=perf,
-        seed=seed,
-        pool_capacity=pool_capacity,
-        sample_period=sample_period,
-        grid=scenario.grid,
-        replicated_mc=replicated_mc,
-    )
+    if shards is not None and chaos is not None:
+        raise ValueError(
+            "sharded runs do not support chaos scenarios: fault "
+            "injection mutates foreign shards mid-window; run with "
+            "shards=None or chaos=False"
+        )
+    if shards is None:
+        experiment = MatrixExperiment(
+            profile,
+            policy=policy,
+            middleware=middleware,
+            perf=perf,
+            seed=seed,
+            pool_capacity=pool_capacity,
+            sample_period=sample_period,
+            grid=scenario.grid,
+            replicated_mc=replicated_mc,
+        )
+    else:
+        from repro.harness.shards import ShardedMatrixExperiment  # no cycle
+
+        experiment = ShardedMatrixExperiment(
+            profile,
+            policy=policy,
+            middleware=middleware,
+            perf=perf,
+            seed=seed,
+            pool_capacity=pool_capacity,
+            sample_period=sample_period,
+            grid=scenario.grid,
+            replicated_mc=replicated_mc,
+            shards=shards,
+            shard_executor=shard_executor,
+        )
     scenario.install(experiment.fleet, profile)
     _arm_chaos(experiment, scenario, "matrix", chaos)
     return experiment.run(until=scenario.duration), experiment

@@ -1,0 +1,112 @@
+"""Sharded-experiment wiring: Matrix runs on the parallel kernel.
+
+:class:`ShardedMatrixExperiment` is a drop-in
+:class:`~repro.harness.experiment.MatrixExperiment` whose substrate
+factories build a :class:`~repro.sim.sharded.ShardedSimulator` and a
+:class:`~repro.net.sharded.ShardedNetwork` instead of the classic
+single-heap pair.  Everything above the substrate — deployment, fleet,
+scenarios, sampling — runs unmodified; the facade routes scheduling to
+the right lane.
+
+The determinism contract (same seed ⇒ identical results at any shard
+count and executor) is proven by ``tests/sim/test_sharded.py``; the
+wall-clock story is measured honestly by
+``benchmarks/bench_shard_scaling.py``.
+
+Sharding is refused for chaos-armed runs: fault injectors mutate
+foreign nodes mid-window (crash/partition callbacks run on the chaos
+driver's lane but touch nodes homed elsewhere), which the conservative
+protocol does not order.  The unified runner enforces this before
+construction.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.sharding import ShardMap
+from repro.harness.experiment import ExperimentResult, MatrixExperiment
+from repro.net.network import Network
+from repro.net.sharded import ShardedNetwork
+from repro.sim.kernel import Simulator
+from repro.sim.sharded import ShardContext, ShardedSimulator
+
+__all__ = [
+    "ShardedMatrixExperiment",
+    "token_ring_builder",
+]
+
+
+class ShardedMatrixExperiment(MatrixExperiment):
+    """A Matrix experiment running on the space-partitioned kernel."""
+
+    def __init__(
+        self,
+        *args,
+        shards: int = 2,
+        shard_executor: str = "serial",
+        **kwargs,
+    ) -> None:
+        self.shards = shards
+        self.shard_executor = shard_executor
+        super().__init__(*args, **kwargs)
+
+    def _build_sim(self) -> Simulator:
+        return ShardedSimulator(
+            self.shards, executor=self.shard_executor, perf=self.perf
+        )
+
+    def _build_network(self) -> Network:
+        shard_map = ShardMap(self.profile.world, self.shards)
+        return ShardedNetwork(
+            self.sim, shard_map, self.rng, perf=self.perf
+        )
+
+    def run(self, until: float) -> ExperimentResult:
+        if self.chaos is not None:
+            raise ValueError(
+                "sharded runs do not support chaos scenarios; run with "
+                "shards=None (see docs/ARCHITECTURE.md)"
+            )
+        # Conservative lookahead: the tightest lower bound on one-way
+        # latency between different-shard nodes, derived from the
+        # installed link profiles (LatencyModel.minimum()).
+        self.sim.lookahead = self.network.minimum_cross_latency()
+        result = super().run(until)
+        if self.perf is not None:
+            # Per-lane accumulators fold in only after the run (lane
+            # threads race on shared counters mid-run), so the snapshot
+            # taken by the base class is retaken with them included.
+            self.network.flush_perf()
+            result.perf_snapshot = self.perf.snapshot()
+        return result
+
+
+def token_ring_builder(ctx: ShardContext) -> None:
+    """A tiny detached workload: a token circling the shard ring.
+
+    Module-level (hence picklable) so it exercises the **process**
+    executor: each shard counts the token's visits and runs a local
+    10 Hz tick; results must be identical under the serial, thread and
+    process executors.  Used by tests and as the reference example for
+    writing detached shard workloads.
+    """
+    state = {"visits": 0, "ticks": 0}
+
+    def on_token(hops: int) -> None:
+        state["visits"] += 1
+        ctx.send((ctx.lane + 1) % ctx.shards, 0.01, hops + 1)
+
+    def tick() -> None:
+        state["ticks"] += 1
+
+    ctx.on_receive(on_token)
+    ctx.sim.every(0.1, tick)
+    if ctx.lane == 0:
+        ctx.sim.at(0.0, lambda: ctx.send(1 % ctx.shards, 0.01, 0))
+    ctx.on_finish(
+        lambda: {
+            "lane": ctx.lane,
+            "visits": state["visits"],
+            "ticks": state["ticks"],
+            "end": ctx.sim.now,
+        }
+    )

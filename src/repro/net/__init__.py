@@ -32,6 +32,7 @@ from repro.net.network import (
 )
 from repro.net.node import Node
 from repro.net.queue import ReceiveQueue
+from repro.net.sharded import ShardedNetwork
 from repro.net.stats import Counter, TrafficStats
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "Node",
     "NormalLatency",
     "ReceiveQueue",
+    "ShardedNetwork",
     "SpatialBatchingStage",
     "TrafficStats",
     "UniformLatency",

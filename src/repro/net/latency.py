@@ -24,6 +24,18 @@ class LatencyModel(ABC):
     def mean(self) -> float:
         """Expected latency (seconds); used by analysis code."""
 
+    def minimum(self) -> float:
+        """Smallest latency :meth:`sample` can ever return (seconds).
+
+        The sharded kernel's conservative lookahead is the minimum
+        one-way latency between nodes in different shards, so every
+        model must state a hard lower bound on its samples.  The base
+        implementation returns ``0.0`` — always safe (a zero lookahead
+        makes the sharded engine refuse to run rather than miscompute),
+        and overridden with a tight bound by every built-in model.
+        """
+        return 0.0
+
 
 class ConstantLatency(LatencyModel):
     """Fixed latency; the default for deterministic unit tests."""
@@ -37,6 +49,9 @@ class ConstantLatency(LatencyModel):
         return self._seconds
 
     def mean(self) -> float:
+        return self._seconds
+
+    def minimum(self) -> float:
         return self._seconds
 
 
@@ -54,6 +69,9 @@ class UniformLatency(LatencyModel):
 
     def mean(self) -> float:
         return (self._low + self._high) / 2.0
+
+    def minimum(self) -> float:
+        return self._low
 
 
 class NormalLatency(LatencyModel):
@@ -74,6 +92,9 @@ class NormalLatency(LatencyModel):
 
     def mean(self) -> float:
         return self._mean
+
+    def minimum(self) -> float:
+        return self._floor
 
 
 def loopback() -> LatencyModel:

@@ -101,6 +101,15 @@ class Network:
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
+    def sim_for(self, node: Node) -> Simulator:
+        """The simulation handle *node* should schedule against.
+
+        The classic network has a single kernel, so every node shares
+        it.  The sharded network overrides this to hand each node its
+        shard's lane simulator; :meth:`Node.attach` caches the result.
+        """
+        return self.sim
+
     def add_node(self, node: Node) -> Node:
         """Register *node*; names must be unique."""
         if node.name in self._nodes:

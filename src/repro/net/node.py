@@ -43,6 +43,7 @@ class Node(ABC):
     ) -> None:
         self.name = name
         self._network: "Network | None" = None
+        self._sim_handle = None
         self._service_rate = service_rate
         self._queue_capacity = queue_capacity
         self._priority_kinds = priority_kinds
@@ -63,6 +64,10 @@ class Node(ABC):
     def attach(self, network: "Network") -> None:
         """Called by :meth:`Network.add_node`; builds the receive queue."""
         self._network = network
+        # Under the sharded network this is the node's shard lane; all
+        # of the node's own scheduling (receive queue service, duties,
+        # timers) must go through it so the node's work stays lane-local.
+        self._sim_handle = network.sim_for(self)
         if network.perf is not None:
             self.middleware.attach_perf(network.perf)
         predicate = None
@@ -70,7 +75,7 @@ class Node(ABC):
             kinds = self._priority_kinds
             predicate = lambda message: message.kind in kinds  # noqa: E731
         self._inbox = ReceiveQueue(
-            network.sim,
+            self._sim_handle,
             self.handle_message,
             service_rate=self._service_rate,
             capacity=self._queue_capacity,
@@ -90,7 +95,10 @@ class Node(ABC):
 
     @property
     def sim(self):
-        """The simulation kernel (via the network)."""
+        """This node's simulation handle (its shard lane when sharded)."""
+        handle = getattr(self, "_sim_handle", None)
+        if handle is not None:
+            return handle
         return self.network.sim
 
     @property

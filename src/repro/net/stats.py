@@ -52,6 +52,42 @@ class TrafficStats:
         self.by_node_sent[message.src].add(message.size_bytes)
         self.by_node_received[message.dst].add(message.size_bytes)
 
+    def merge_from(self, other: "TrafficStats") -> None:
+        """Fold *other*'s counters into this one.
+
+        Every counter is a plain sum, so merging per-shard stats in any
+        fixed order reproduces the single-kernel totals exactly — the
+        sharded network accounts traffic per lane and merges on read.
+        """
+        self.total.messages += other.total.messages
+        self.total.bytes += other.total.bytes
+        for table_name in ("by_kind", "by_pair", "by_node_sent", "by_node_received"):
+            mine = getattr(self, table_name)
+            for key, counter in getattr(other, table_name).items():
+                entry = mine[key]
+                entry.messages += counter.messages
+                entry.bytes += counter.bytes
+
+    def canonical_digest(self) -> str:
+        """A key-order-independent serialisation of every counter.
+
+        Two stats objects digest identically iff every breakdown agrees
+        exactly; dict insertion order (which differs between a merged
+        per-shard view and a single-kernel run) does not affect it.
+        This is the "byte-identical ``TrafficStats``" the shard
+        determinism tests and the scaling bench compare.
+        """
+        parts = [f"total={self.total.messages}:{self.total.bytes}"]
+        for table_name in ("by_kind", "by_pair", "by_node_sent", "by_node_received"):
+            table = getattr(self, table_name)
+            for key in sorted(table, key=repr):
+                counter = table[key]
+                if counter.messages or counter.bytes:
+                    parts.append(
+                        f"{table_name}[{key!r}]={counter.messages}:{counter.bytes}"
+                    )
+        return "\n".join(parts)
+
     # ------------------------------------------------------------------
     # Queries used by the microbenchmarks
     # ------------------------------------------------------------------

@@ -9,13 +9,23 @@ from repro.sim.events import Event, EventQueue
 from repro.sim.kernel import SimulationError, Simulator
 from repro.sim.process import PeriodicTask, Timer
 from repro.sim.rng import RngRegistry
+from repro.sim.sharded import (
+    LaneSimulator,
+    ShardContext,
+    ShardedSimulator,
+    run_sharded_workload,
+)
 
 __all__ = [
     "Event",
     "EventQueue",
+    "LaneSimulator",
     "PeriodicTask",
     "RngRegistry",
+    "ShardContext",
+    "ShardedSimulator",
     "SimulationError",
     "Simulator",
     "Timer",
+    "run_sharded_workload",
 ]

@@ -142,6 +142,47 @@ class EventQueue:
             return event
         return None
 
+    def pop_strictly_before(self, limit: float) -> Event | None:
+        """Pop the earliest live event at time < *limit* (strict).
+
+        The sharded kernel's window drain: events scheduled exactly at
+        a window barrier belong to the *next* window (the barrier runs
+        global-lane work first), so the per-window loop must exclude
+        the limit where :meth:`pop_before` includes it.  Kept as a
+        separate method so the single-heap kernel's hot path keeps its
+        argument-free comparison.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[3]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if entry[0] >= limit:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            return event
+        return None
+
+    def push_existing(self, event: Event) -> Event:
+        """Insert an :class:`Event` created elsewhere, assigning a
+        fresh local sequence number.
+
+        Cross-shard schedules are created in the *source* shard's
+        window (so the caller gets a cancellable handle immediately)
+        but only enter the *target* shard's heap at the next barrier;
+        the sequence number is assigned here, at injection, so tie
+        ordering inside a heap always reflects injection order.
+        """
+        event.seq = next(self._counter)
+        heapq.heappush(
+            self._heap, (event.time, event.priority, event.seq, event)
+        )
+        self._live += 1
+        return event
+
     def peek_time(self) -> float | None:
         """Return the time of the earliest live event, or ``None`` if empty."""
         heap = self._heap

@@ -245,6 +245,44 @@ class Simulator:
         finally:
             events_counter.inc(executed)
 
+    def run_window(self, end: float, inclusive: bool = False) -> int:
+        """Drain events up to *end* and advance the clock to exactly *end*.
+
+        The sharded kernel's window-run mode: events strictly before
+        *end* execute (``inclusive=True`` also takes events at exactly
+        *end* — the barrier's own instant), then the clock lands on
+        *end* so every shard observes the same time at a barrier.
+        Returns the number of events executed.
+        """
+        if self._running:
+            raise SimulationError("run_window() called re-entrantly")
+        self._running = True
+        self._stopped = False
+        pop = (
+            self._queue.pop_before
+            if inclusive
+            else self._queue.pop_strictly_before
+        )
+        no_arg = NO_ARG
+        executed = 0
+        try:
+            while not self._stopped:
+                event = pop(end)
+                if event is None:
+                    break
+                self._now = event.time
+                self._event_count += 1
+                if event.arg is no_arg:
+                    event.callback()
+                else:
+                    event.callback(event.arg)
+                executed += 1
+        finally:
+            self._running = False
+        if self._now < end and not self._stopped:
+            self._now = end
+        return executed
+
     def stop(self) -> None:
         """Stop the current :meth:`run` after the executing event returns."""
         self._stopped = True

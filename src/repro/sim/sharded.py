@@ -1,0 +1,711 @@
+"""Space-partitioned parallel kernel: conservative time-window shards.
+
+The classic :class:`~repro.sim.kernel.Simulator` drains one event heap.
+This module runs *S* lane simulators side by side — one per world shard
+— under a conservative synchronization protocol:
+
+* **Lookahead** ``L`` is the minimum one-way latency between nodes in
+  different shards (``LatencyModel.minimum()`` over the network's
+  non-loopback profiles).  No shard can receive a cross-shard effect
+  earlier than ``L`` after it was sent.
+* **Windows.** Each round picks an adaptive barrier
+  ``B = min(min_lane_event + L, next_global_event, until)`` and every
+  lane independently drains its events *strictly before* ``B``.  Any
+  send during the window happens at ``t >= min_lane_event``, so its
+  cross-shard arrival is ``>= min_lane_event + L >= B`` — never inside
+  the window another lane is executing.  The barrier grid depends only
+  on event *times*, never on the lane count, which is the cornerstone
+  of the shard-count invariance proof in docs/ARCHITECTURE.md.
+* **Barriers.** At each barrier all lanes sit at exactly ``B``.
+  Cross-lane schedules deferred during the window are injected in
+  canonical ``(time, priority, source-lane, creation-order)`` order,
+  barrier hooks run (the sharded network flushes its outboxes in
+  ``(time, seq, shard)`` order and applies node removals), and then the
+  **global lane** — control logic with no node of its own: workload
+  generation, sampling — executes its events at exactly ``B``.  Events
+  a lane scheduled *at* ``B`` run in the next window, consistently at
+  every shard count (the barrier-exact edge case in the tests).
+
+Determinism contract: with the same seed, every simulation output is
+byte-identical whatever ``shards`` and whatever executor — the sharded
+engine at ``shards=1`` is the reference, and the tests compare it
+against ``shards=2/4`` on full scenario runs.
+
+The module also provides :func:`run_sharded_workload`: the same
+conservative protocol for *detached* shard workloads (pure
+message-passing between per-shard builders) which — unlike the Matrix
+deployment, whose coordinator/pool/fleet state is process-shared — can
+run under a ``spawn`` **process** executor, one interpreter per shard.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.sim.events import DEFAULT_PRIORITY, NO_ARG, Event
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.process import PeriodicTask
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.perf import PerfRegistry
+
+__all__ = [
+    "GLOBAL_LANE",
+    "LaneSimulator",
+    "ShardContext",
+    "ShardedSimulator",
+    "run_sharded_workload",
+]
+
+#: Lane index of the global (control) lane in engine bookkeeping.
+GLOBAL_LANE = "global"
+
+#: Executors the in-process engine supports.  ``process`` is only
+#: available through :func:`run_sharded_workload` (detached shards);
+#: the engine's lanes share the deployment's in-process state.
+ENGINE_EXECUTORS = ("serial", "thread")
+
+
+class LaneSimulator(Simulator):
+    """One shard's event heap, aware of the engine's active-lane rule.
+
+    Scheduling into a lane from *outside* it (another lane mid-window,
+    or the global lane at a barrier) is deferred: the caller gets a
+    real, cancellable :class:`Event` immediately, but the event only
+    enters this lane's heap at the next barrier, in canonical order.
+    Relative times (:meth:`after`, :meth:`every`) are resolved against
+    the *calling* context's clock, so a cross-lane ``after(d)`` means
+    the same instant at every shard count.
+    """
+
+    def __init__(self, engine: "ShardedSimulator", index) -> None:
+        super().__init__()
+        self._engine = engine
+        self.index = index
+        #: Cross-lane schedules created while *this* lane (or the
+        #: global lane) was executing: ``(target_lane, event)`` in
+        #: creation order.  Only the owning thread appends.
+        self._deferred: list[tuple["LaneSimulator", Event]] = []
+
+    # -- context-aware scheduling --------------------------------------
+    def _context_now(self) -> float:
+        active = self._engine._active()
+        return active._now if active is not None else self._now
+
+    def at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+        arg: Any = NO_ARG,
+    ) -> Event:
+        active = self._engine._active()
+        if active is None or active is self:
+            return super().at(
+                time, callback, priority=priority, label=label, arg=arg
+            )
+        if time < active._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={active._now}"
+            )
+        event = Event(time, priority, -1, callback, arg, label)
+        active._deferred.append((self, event))
+        return event
+
+    def after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+        arg: Any = NO_ARG,
+    ) -> Event:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.at(
+            self._context_now() + delay,
+            callback,
+            priority=priority,
+            label=label,
+            arg=arg,
+        )
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        start: float | None = None,
+        label: str = "",
+    ) -> PeriodicTask:
+        if interval <= 0:
+            raise SimulationError(f"non-positive interval: {interval}")
+        first = self._context_now() + interval if start is None else start
+        return PeriodicTask(self, interval, callback, first, label)
+
+
+class ShardedSimulator:
+    """Drop-in ``Simulator`` facade over *shards* lane simulators.
+
+    Scheduling calls route to the active lane (or to the global lane
+    between windows — which is where construction-time workload and
+    sampler schedules belong), so existing code written against the
+    classic kernel runs unchanged.  Component code that holds a node
+    runs against that node's own lane via ``Network.sim_for``.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        lookahead: float | None = None,
+        executor: str = "serial",
+        perf: "PerfRegistry | None" = None,
+        start_time: float = 0.0,
+    ) -> None:
+        if shards < 1:
+            raise SimulationError(f"shards must be >= 1, got {shards}")
+        if executor not in ENGINE_EXECUTORS:
+            raise SimulationError(
+                f"unknown shard executor {executor!r}; engine executors: "
+                f"{ENGINE_EXECUTORS} (the process executor runs detached "
+                f"workloads only — see run_sharded_workload)"
+            )
+        self.shard_count = shards
+        self.lookahead = lookahead
+        self._lanes = [LaneSimulator(self, i) for i in range(shards)]
+        self._global = LaneSimulator(self, GLOBAL_LANE)
+        self._all = [*self._lanes, self._global]
+        for lane in self._all:
+            lane._now = float(start_time)
+        self._barrier_time = float(start_time)
+        self._tls = threading.local()
+        self._running = False
+        self._stopped = False
+        self._barrier_hooks: list[Callable[[float], None]] = []
+        self.windows_run = 0
+        self._perf = perf
+        if perf is not None:
+            self._perf_windows = perf.counter("shard.windows")
+            self._perf_wait = perf.timer("shard.barrier_wait")
+        else:
+            self._perf_windows = None
+            self._perf_wait = None
+        if executor == "thread":
+            self._executor: _SerialLanes | _ThreadLanes = _ThreadLanes(self)
+        else:
+            self._executor = _SerialLanes(self)
+
+    # ------------------------------------------------------------------
+    # Facade: the classic Simulator surface
+    # ------------------------------------------------------------------
+    def _active(self) -> LaneSimulator | None:
+        return getattr(self._tls, "active", None)
+
+    def _set_active(self, lane: LaneSimulator | None) -> None:
+        self._tls.active = lane
+
+    def _context_sim(self) -> LaneSimulator:
+        active = self._active()
+        return active if active is not None else self._global
+
+    @property
+    def now(self) -> float:
+        return self._context_sim()._now
+
+    @property
+    def events_processed(self) -> int:
+        return sum(lane.events_processed for lane in self._all)
+
+    @property
+    def pending_events(self) -> int:
+        return sum(lane.pending_events for lane in self._all)
+
+    @property
+    def perf(self) -> "PerfRegistry | None":
+        return self._perf
+
+    def lane(self, index: int) -> LaneSimulator:
+        """The lane simulator for shard *index*."""
+        return self._lanes[index]
+
+    @property
+    def global_lane(self) -> LaneSimulator:
+        """The control lane (workload generation, samplers)."""
+        return self._global
+
+    def add_barrier_hook(self, hook: Callable[[float], None]) -> None:
+        """Run *hook(barrier_time)* at every barrier, before the global
+        lane executes (the sharded network's outbox flush)."""
+        self._barrier_hooks.append(hook)
+
+    def at(self, time, callback, priority=DEFAULT_PRIORITY, label="", arg=NO_ARG):
+        return self._context_sim().at(
+            time, callback, priority=priority, label=label, arg=arg
+        )
+
+    def after(self, delay, callback, priority=DEFAULT_PRIORITY, label="", arg=NO_ARG):
+        return self._context_sim().after(
+            delay, callback, priority=priority, label=label, arg=arg
+        )
+
+    def every(self, interval, callback, start=None, label=""):
+        return self._context_sim().every(
+            interval, callback, start=start, label=label
+        )
+
+    def cancel(self, event: Event) -> None:
+        # The owning heap is unknown from here; lazy cancellation means
+        # marking the record is enough (pop and injection both skip it).
+        event.cancel()
+
+    def stop(self) -> None:
+        self._stopped = True
+        for lane in self._all:
+            lane.stop()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        if max_events is not None:
+            raise SimulationError(
+                "the sharded engine runs whole windows; max_events is not "
+                "supported"
+            )
+        if self.lookahead is None or self.lookahead <= 0.0:
+            raise SimulationError(
+                f"sharded run needs a positive lookahead, got {self.lookahead}"
+            )
+        self._running = True
+        self._stopped = False
+        try:
+            self._executor.start()
+            self._loop(until)
+        finally:
+            self._executor.shutdown()
+            self._set_active(None)
+            self._running = False
+
+    def _loop(self, until: float | None) -> None:
+        lookahead = self.lookahead
+        lanes = self._lanes
+        glob = self._global
+        while not self._stopped:
+            self._inject()
+            next_lane = None
+            for lane in lanes:
+                t = lane._queue.peek_time()
+                if t is not None and (next_lane is None or t < next_lane):
+                    next_lane = t
+            next_global = glob._queue.peek_time()
+            candidates = []
+            if next_lane is not None:
+                candidates.append(next_lane + lookahead)
+            if next_global is not None:
+                candidates.append(next_global)
+            if until is not None:
+                candidates.append(until)
+            if not candidates:
+                break  # drained with no horizon
+            barrier = min(candidates)
+            if until is not None and barrier > until:
+                barrier = until
+            if barrier > self._barrier_time:
+                self.windows_run += 1
+                if self._perf_windows is not None:
+                    self._perf_windows.inc()
+                self._executor.run_window(barrier)
+                self._barrier_time = barrier
+            if self._stopped:
+                break
+            # Global (control) events at exactly the barrier instant.
+            self._set_active(glob)
+            glob.run_window(barrier, inclusive=True)
+            self._set_active(None)
+            if until is not None and barrier >= until:
+                # Lane events scheduled exactly at the horizon still
+                # execute — matching the classic kernel's inclusive
+                # run(until) — after the barrier's control work.
+                self._inject()
+                for lane in lanes:
+                    self._set_active(lane)
+                    lane.run_window(until, inclusive=True)
+                self._set_active(None)
+                break
+
+    def _inject(self) -> None:
+        """Barrier injection: deferred cross-lane schedules, then hooks.
+
+        Deferral entries from every lane merge in canonical
+        ``(time, priority, source-lane, creation-order)`` order before
+        receiving their injection-time sequence numbers, so heap tie
+        ordering is independent of executor scheduling.
+        """
+        horizon = self._barrier_time
+        pending: list[tuple[float, int, int, int, LaneSimulator, Event]] = []
+        for src_order, lane in enumerate(self._all):
+            deferred = lane._deferred
+            if deferred:
+                lane._deferred = []
+                for idx, (target, event) in enumerate(deferred):
+                    pending.append(
+                        (event.time, event.priority, src_order, idx, target, event)
+                    )
+        if pending:
+            pending.sort(key=lambda entry: entry[:4])
+            for time, _, _, _, target, event in pending:
+                if event.cancelled:
+                    continue
+                if time < horizon:
+                    raise SimulationError(
+                        f"cross-shard schedule at t={time} lands inside the "
+                        f"lookahead window (barrier {horizon}); cross-shard "
+                        f"delays must be >= the lookahead "
+                        f"({self.lookahead})"
+                    )
+                target._queue.push_existing(event)
+        for hook in self._barrier_hooks:
+            hook(horizon)
+
+
+class _SerialLanes:
+    """Run every lane's window on the calling thread, in lane order."""
+
+    def __init__(self, engine: ShardedSimulator) -> None:
+        self._engine = engine
+
+    def start(self) -> None:
+        pass
+
+    def shutdown(self) -> None:
+        pass
+
+    def run_window(self, barrier: float) -> None:
+        engine = self._engine
+        for lane in engine._lanes:
+            engine._set_active(lane)
+            lane.run_window(barrier)
+        engine._set_active(None)
+
+
+class _ThreadLanes:
+    """One persistent worker thread per lane, synced by reusable barriers.
+
+    Under CPython's GIL the lanes time-share one core, so this executor
+    buys no wall-clock speedup today — it exists to prove the protocol
+    is executor-independent (the determinism tests run it) and to be
+    ready for free-threaded builds.  Each worker pins its thread-local
+    active lane once; ``shard.barrier_wait`` records, per worker and
+    window, how long it idled at the done-barrier for its siblings.
+    """
+
+    def __init__(self, engine: ShardedSimulator) -> None:
+        self._engine = engine
+        parties = engine.shard_count + 1
+        self._start_gate = threading.Barrier(parties)
+        self._done_gate = threading.Barrier(parties)
+        self._threads: list[threading.Thread] = []
+        self._barrier = 0.0
+        self._closing = False
+        self._errors: list[BaseException] = []
+
+    def start(self) -> None:
+        for lane in self._engine._lanes:
+            thread = threading.Thread(
+                target=self._work, args=(lane,), daemon=True,
+                name=f"shard-{lane.index}",
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _work(self, lane: LaneSimulator) -> None:
+        engine = self._engine
+        engine._set_active(lane)
+        wait_timer = engine._perf_wait
+        clock = _time.perf_counter
+        while True:
+            try:
+                self._start_gate.wait()
+            except threading.BrokenBarrierError:
+                return
+            if self._closing:
+                return
+            try:
+                lane.run_window(self._barrier)
+            except BaseException as error:  # surfaced by run_window()
+                self._errors.append(error)
+            arrived = clock()
+            try:
+                self._done_gate.wait()
+            except threading.BrokenBarrierError:
+                return
+            if wait_timer is not None:
+                wait_timer.record(clock() - arrived)
+
+    def run_window(self, barrier: float) -> None:
+        self._barrier = barrier
+        self._start_gate.wait()
+        self._done_gate.wait()
+        if self._errors:
+            error = self._errors[0]
+            self._errors = []
+            raise error
+
+    def shutdown(self) -> None:
+        self._closing = True
+        self._start_gate.abort()
+        self._done_gate.abort()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+
+
+# ----------------------------------------------------------------------
+# Detached shard workloads (the process executor's domain)
+# ----------------------------------------------------------------------
+class ShardContext:
+    """What a detached shard builder gets to work with.
+
+    The builder installs events on ``ctx.sim`` (a plain
+    :class:`Simulator`), exchanges data with other shards *only*
+    through :meth:`send` / :meth:`on_receive`, and registers the
+    shard's result via :meth:`on_finish`.  Because a shard touches
+    nothing outside its context, the whole shard can live in its own
+    spawned process.
+    """
+
+    def __init__(self, sim: Simulator, lane: int, shards: int, seed: int) -> None:
+        self.sim = sim
+        self.lane = lane
+        self.shards = shards
+        self.seed = seed
+        self._outbound: list[tuple[float, int, int, Any]] = []
+        self._seq = 0
+        self._receive: Callable[[Any], None] | None = None
+        self._finish: Callable[[], Any] | None = None
+
+    def send(self, dst_lane: int, delay: float, payload: Any) -> None:
+        """Ship *payload* to *dst_lane*, arriving after *delay* seconds.
+
+        *delay* must be at least the workload's lookahead; the master
+        asserts this at every exchange.
+        """
+        self._outbound.append(
+            (self.sim.now + delay, self._seq, dst_lane, payload)
+        )
+        self._seq += 1
+
+    def on_receive(self, handler: Callable[[Any], None]) -> None:
+        """Handler invoked (in simulation time) for inbound payloads."""
+        self._receive = handler
+
+    def on_finish(self, result_fn: Callable[[], Any]) -> None:
+        """Called once after the run; its return value is the shard's
+        result (must be picklable under the process executor)."""
+        self._finish = result_fn
+
+
+class _DetachedShard:
+    """One detached shard: simulator + mailbox, executor-agnostic."""
+
+    def __init__(
+        self, builder: Callable[[ShardContext], None],
+        lane: int, shards: int, seed: int,
+    ) -> None:
+        self.sim = Simulator()
+        self.ctx = ShardContext(self.sim, lane, shards, seed)
+        builder(self.ctx)
+
+    def next_time(self) -> float | None:
+        return self.sim._queue.peek_time()
+
+    def step(
+        self,
+        barrier: float,
+        inbound: list[tuple[float, Any]],
+        inclusive: bool = False,
+    ) -> tuple[float | None, list[tuple[float, int, int, Any]]]:
+        handler = self.ctx._receive
+        for arrival, payload in inbound:
+            if handler is None:
+                raise SimulationError(
+                    f"shard {self.ctx.lane} received a payload but "
+                    f"registered no on_receive handler"
+                )
+            self.sim.at(arrival, handler, arg=payload)
+        self.sim.run_window(barrier, inclusive=inclusive)
+        outbound = self.ctx._outbound
+        self.ctx._outbound = []
+        return self.next_time(), outbound
+
+    def finish(self) -> Any:
+        return self.ctx._finish() if self.ctx._finish is not None else None
+
+
+def _detached_worker_main(conn, builder, lane, shards, seed) -> None:
+    """Process-executor worker loop: one detached shard per process."""
+    shard = _DetachedShard(builder, lane, shards, seed)
+    conn.send(shard.next_time())
+    while True:
+        command = conn.recv()
+        if command[0] == "step":
+            _, barrier, inbound, inclusive = command
+            conn.send(shard.step(barrier, inbound, inclusive))
+        elif command[0] == "finish":
+            conn.send(shard.finish())
+            conn.close()
+            return
+
+
+class _LocalShardPool:
+    """Serial/thread transport over in-process detached shards."""
+
+    def __init__(self, builder, shards, seed, threaded: bool) -> None:
+        self._shards = [
+            _DetachedShard(builder, lane, shards, seed)
+            for lane in range(shards)
+        ]
+        self._pool = None
+        if threaded and shards > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(max_workers=shards)
+
+    def next_times(self) -> list[float | None]:
+        return [shard.next_time() for shard in self._shards]
+
+    def step_all(self, barrier, inbound_per_lane, inclusive):
+        if self._pool is None:
+            return [
+                shard.step(barrier, inbound_per_lane[lane], inclusive)
+                for lane, shard in enumerate(self._shards)
+            ]
+        futures = [
+            self._pool.submit(shard.step, barrier, inbound_per_lane[lane], inclusive)
+            for lane, shard in enumerate(self._shards)
+        ]
+        return [future.result() for future in futures]
+
+    def finish_all(self):
+        results = [shard.finish() for shard in self._shards]
+        if self._pool is not None:
+            self._pool.shutdown()
+        return results
+
+
+class _ProcessShardPool:
+    """Spawn transport: each detached shard in its own interpreter."""
+
+    def __init__(self, builder, shards, seed) -> None:
+        from multiprocessing import get_context
+
+        context = get_context("spawn")
+        self._connections = []
+        self._processes = []
+        self._first_times: list[float | None] = []
+        for lane in range(shards):
+            parent, child = context.Pipe()
+            process = context.Process(
+                target=_detached_worker_main,
+                args=(child, builder, lane, shards, seed),
+                daemon=True,
+            )
+            process.start()
+            child.close()
+            self._connections.append(parent)
+            self._processes.append(process)
+        self._first_times = [conn.recv() for conn in self._connections]
+
+    def next_times(self) -> list[float | None]:
+        return list(self._first_times)
+
+    def step_all(self, barrier, inbound_per_lane, inclusive):
+        for lane, conn in enumerate(self._connections):
+            conn.send(("step", barrier, inbound_per_lane[lane], inclusive))
+        replies = [conn.recv() for conn in self._connections]
+        self._first_times = [reply[0] for reply in replies]
+        return replies
+
+    def finish_all(self):
+        for conn in self._connections:
+            conn.send(("finish",))
+        results = [conn.recv() for conn in self._connections]
+        for conn in self._connections:
+            conn.close()
+        for process in self._processes:
+            process.join(timeout=10.0)
+        return results
+
+
+def run_sharded_workload(
+    builder: Callable[[ShardContext], None],
+    shards: int,
+    until: float,
+    lookahead: float,
+    executor: str = "serial",
+    seed: int = 0,
+) -> list[Any]:
+    """Run a detached sharded workload and return per-shard results.
+
+    *builder* (a module-level callable when ``executor="process"`` —
+    it is shipped by pickle) receives a :class:`ShardContext` and wires
+    one shard.  The master then drives the same conservative protocol
+    the engine uses: windows bounded by ``min(next event) + lookahead``,
+    cross-shard payloads exchanged at barriers in canonical
+    ``(time, seq, shard)`` order.  Results are identical across the
+    ``serial``, ``thread`` and ``process`` executors.
+    """
+    if shards < 1:
+        raise SimulationError(f"shards must be >= 1, got {shards}")
+    if lookahead <= 0:
+        raise SimulationError(f"lookahead must be positive: {lookahead}")
+    if executor == "process":
+        pool: _LocalShardPool | _ProcessShardPool = _ProcessShardPool(
+            builder, shards, seed
+        )
+    elif executor in ("serial", "thread"):
+        pool = _LocalShardPool(builder, shards, seed, executor == "thread")
+    else:
+        raise SimulationError(
+            f"unknown workload executor {executor!r}; "
+            f"expected serial, thread or process"
+        )
+    barrier = 0.0
+    inbound_per_lane: list[list[tuple[float, Any]]] = [[] for _ in range(shards)]
+    while True:
+        # The conservative horizon covers shard heaps *and* payloads
+        # awaiting delivery — an undelivered arrival is a future event.
+        pending = [t for t in pool.next_times() if t is not None]
+        for lane_inbound in inbound_per_lane:
+            pending.extend(arrival for arrival, _ in lane_inbound)
+        if not pending:
+            barrier = until
+            inclusive = True
+        else:
+            barrier = min(min(pending) + lookahead, until)
+            inclusive = barrier >= until
+        replies = pool.step_all(barrier, inbound_per_lane, inclusive)
+        inbound_per_lane = [[] for _ in range(shards)]
+        transfers: list[tuple[float, int, int, int, Any]] = []
+        for src_lane, reply in enumerate(replies):
+            for arrival, seq, dst_lane, payload in reply[1]:
+                transfers.append((arrival, seq, src_lane, dst_lane, payload))
+        # Canonical (time, seq, shard) exchange order.
+        transfers.sort(key=lambda entry: entry[:3])
+        for arrival, _seq, _src, dst_lane, payload in transfers:
+            if arrival < barrier:
+                raise SimulationError(
+                    f"cross-shard payload arriving at t={arrival} inside "
+                    f"the lookahead window (barrier {barrier})"
+                )
+            inbound_per_lane[dst_lane].append((arrival, payload))
+        if inclusive and not any(inbound_per_lane):
+            break
+        if inclusive and barrier >= until:
+            # Inbound at exactly the horizon: one more inclusive step.
+            continue
+    return pool.finish_all()

@@ -83,6 +83,7 @@ class ClientFleet:
             rng=random.Random(self._rng.getrandbits(64)),
             relocate=self._locator,
             rejoin_timeout=self._rejoin_timeout,
+            position=position,
         )
         self._network.add_node(client)
         self.clients.append(client)

@@ -196,3 +196,22 @@ class TestArchMatrixGridDeterminism:
         # Cells carry real simulation output, not degenerate zeros.
         for cell in serial:
             assert cell.value["events"] > 0, cell.key
+
+
+class TestErrorMessage:
+    def test_grid_task_error_leads_with_canonical_key(self):
+        """The first line names the failing cell in the same
+        slash-joined form the timing sections use."""
+        tasks = [
+            GridTask(
+                key=("matrix", "fig2-hotspot", 2),
+                fn=crashing_cell,
+                kwargs={"value": 2},
+            )
+        ]
+        with pytest.raises(GridTaskError) as excinfo:
+            run_grid(tasks, jobs=1)
+        message = str(excinfo.value)
+        first_line = message.splitlines()[0]
+        assert "grid cell matrix/fig2-hotspot/2" in first_line
+        assert "key=('matrix', 'fig2-hotspot', 2)" in first_line

@@ -70,3 +70,36 @@ def test_wan_sane_for_gameplay():
     samples = [wan().sample(rng) for _ in range(2000)]
     assert sum(samples) / len(samples) == pytest.approx(0.025, rel=0.2)
     assert max(samples) < 0.150
+
+
+class TestMinimum:
+    """``minimum()`` is the sharded kernel's lookahead source: it must
+    be a true lower bound on every sample the model can produce."""
+
+    def test_constant_minimum_is_the_constant(self):
+        assert ConstantLatency(0.01).minimum() == 0.01
+
+    def test_uniform_minimum_is_the_low_bound(self):
+        model = UniformLatency(0.001, 0.002)
+        assert model.minimum() == 0.001
+        assert all(model.sample(RNG) >= model.minimum() for _ in range(500))
+
+    def test_normal_minimum_is_the_floor(self):
+        model = NormalLatency(mean=0.01, stddev=0.05, floor=0.001)
+        assert model.minimum() == 0.001
+        assert all(model.sample(RNG) >= model.minimum() for _ in range(500))
+
+    def test_base_minimum_is_conservative_zero(self):
+        from repro.net.latency import LatencyModel
+
+        class Opaque(LatencyModel):
+            def sample(self, rng):
+                return 42.0
+
+            def mean(self):
+                return 42.0
+
+        assert Opaque().minimum() == 0.0
+
+    def test_preset_minimums_are_positive_and_ordered(self):
+        assert 0.0 < loopback().minimum() < lan().minimum() < wan().minimum()
