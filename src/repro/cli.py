@@ -18,6 +18,17 @@ Subcommands:
   instrumentation on and print the counter/timer/sampler report, or
   ``perf --suite`` for the consolidated throughput suite (the CLI face
   of ``benchmarks/bench_perf_suite.py``).
+* ``fuzz`` — generative scenario fuzzing: run N seeded random
+  scenarios through the invariant harness (:mod:`repro.fuzz`); a
+  failure names its seed, ``--shrink`` reduces it to a minimal phase
+  list, and ``--artifacts DIR`` records the failing run's trace.
+* ``record <scenario>...`` — run scenarios with the trace recorder
+  attached and write versioned ``.trace`` files (the client-visible
+  event stream; see :mod:`repro.trace`).
+* ``replay <trace>...`` — re-run recorded traces through the replay
+  backend and self-check the round-trip digest.
+* ``diff <a> <b>`` — regression-compare two trace files (exit 1 on
+  drift).
 
 The grid-shaped subcommands take ``--jobs N`` to fan their independent
 cells out over N ``spawn`` worker processes
@@ -262,6 +273,241 @@ def _cmd_run_many(args) -> int:
     return 0
 
 
+def record_trace_cell(
+    name: str,
+    backend: str,
+    seed: int,
+    scale: float,
+    duration: float | None,
+    out: str,
+    shards: int | None = None,
+) -> dict:
+    """One ``record`` fan-out cell (module-level: picklable)."""
+    from repro.trace.recorder import record_scenario
+
+    scenario = build_scenario(name)
+    profile, policy = _scaled_setup(scenario.game, scale)
+    options = {}
+    if backend == "matrix":
+        options["policy"] = policy
+        if shards is not None:
+            options["shards"] = shards
+    run = record_scenario(
+        scenario,
+        backend=backend,
+        profile=profile,
+        scale=scale,
+        preview=duration,
+        seed=seed,
+        **options,
+    )
+    path = run.write(out)
+    return {
+        "scenario": name,
+        "path": str(path),
+        "events": run.header.events,
+        "digest": run.header.digest,
+    }
+
+
+def _trace_out_path(out: str, name: str, many: bool) -> str:
+    """Where one scenario's trace lands for ``record --out``."""
+    from pathlib import Path
+
+    target = Path(out)
+    if not many and target.suffix:  # explicit file for a single trace
+        return str(target)
+    return str(target / f"{name}.trace")
+
+
+def _cmd_record(args) -> int:
+    from repro.harness.parallel import GridTaskError
+
+    names = list(dict.fromkeys(args.scenarios))  # dedup, keep order
+    many = len(names) > 1
+    tasks = [
+        GridTask(
+            key=(name,),
+            fn=record_trace_cell,
+            kwargs=dict(
+                name=name,
+                backend=args.backend,
+                seed=args.seed,
+                scale=args.scale,
+                duration=args.duration,
+                out=_trace_out_path(args.out, name, many),
+                shards=args.shards if args.backend == "matrix" else None,
+            ),
+        )
+        for name in names
+    ]
+    try:
+        cells = run_grid(tasks, jobs=args.jobs)
+    except GridTaskError as exc:
+        print(exc)
+        return 1
+    for cell in cells:
+        row = cell.value
+        print(
+            f"recorded {row['scenario']}: {row['events']} events -> "
+            f"{row['path']}"
+        )
+        print(f"  {row['digest']}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.trace.format import TraceCompatibilityError, TraceError
+    from repro.trace.replay import replay_trace
+
+    drifted = False
+    for path in args.traces:
+        try:
+            outcome = replay_trace(path, backend=args.backend)
+        except TraceCompatibilityError as exc:
+            print(f"error: {exc}")
+            return 2
+        except TraceError as exc:
+            print(f"error: {exc}")
+            return 2
+        result = outcome.result
+        verdict = "ok" if result.matches_recording else "DRIFT"
+        drifted = drifted or not result.matches_recording
+        print(
+            f"replayed {outcome.scenario.name}: "
+            f"{result.replayed_messages} messages over "
+            f"{result.endpoints} endpoints [{verdict}]"
+        )
+        print(f"  recorded {result.recorded_digest}")
+    return 1 if drifted else 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.trace.diff import diff_traces, format_diff
+    from repro.trace.format import TraceError
+
+    try:
+        diff = diff_traces(args.trace_a, args.trace_b)
+    except TraceError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(format_diff(diff, label_a=args.trace_a, label_b=args.trace_b))
+    return 0 if diff.clean else 1
+
+
+def _fuzz_seed_from_key(key: tuple) -> int | None:
+    """Recover the generator seed from a fuzz cell key (seed=N)."""
+    for part in key:
+        text = str(part)
+        if text.startswith("seed="):
+            try:
+                return int(text.removeprefix("seed="))
+            except ValueError:
+                return None
+    return None
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz.generator import fuzz_profile
+    from repro.harness.fuzz import fuzz_grid_tasks
+    from repro.harness.parallel import GridTaskError
+
+    try:
+        fuzz_profile(args.profile)  # fail fast on a typo'd profile name
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.seed is not None:
+        seeds = [args.seed]
+    else:
+        seeds = list(range(args.seed_start, args.seed_start + args.seeds))
+    tasks = fuzz_grid_tasks(
+        seeds,
+        args.profile,
+        scale=args.scale,
+        preview=args.duration,
+        settle=args.settle,
+        shards=args.shards,
+    )
+    try:
+        cells = run_grid(
+            tasks,
+            jobs=args.jobs,
+            on_result=lambda cell: print(
+                f"ok {'/'.join(str(p) for p in cell.key)} "
+                f"({cell.wall_seconds:.1f}s)"
+            ),
+        )
+    except GridTaskError as exc:
+        print(exc)
+        seed = _fuzz_seed_from_key(exc.key)
+        if seed is not None:
+            _report_fuzz_failure(args, seed)
+        return 1
+    print()
+    print(
+        f"fuzz: {len(cells)} seeds passed the invariant harness "
+        f"(profile={args.profile}, scale={args.scale:g}, "
+        f"jobs={args.jobs or 1})"
+    )
+    total_phases = sum(cell.value["phases"] for cell in cells)
+    total_events = sum(cell.value["events"] for cell in cells)
+    print(f"  {total_phases} phases generated, {total_events} events "
+          f"processed, 0 violations")
+    return 0
+
+
+def _report_fuzz_failure(args, seed: int) -> None:
+    """Post-mortem for one failing fuzz seed: trace, then shrink."""
+    print(f"\nfailing seed: {seed} (reproduce with: python -m repro fuzz "
+          f"--seed {seed} --profile {args.profile} --scale {args.scale:g}"
+          + (f" --duration {args.duration:g}" if args.duration else "")
+          + ")")
+    if args.artifacts:
+        from pathlib import Path
+
+        from repro.fuzz.generator import generate_scenario
+        from repro.trace.recorder import record_scenario
+
+        scenario = generate_scenario(seed, args.profile)
+        profile, policy = _scaled_setup(scenario.game, args.scale)
+        try:
+            run = record_scenario(
+                scenario,
+                backend="matrix",
+                profile=profile,
+                scale=args.scale,
+                preview=args.duration,
+                seed=seed,
+                policy=policy,
+            )
+            path = run.write(
+                Path(args.artifacts)
+                / f"fuzz-{args.profile}-{seed}.trace"
+            )
+            print(f"failing trace recorded: {path}")
+        except Exception as exc:  # the run may crash before finishing
+            print(f"could not record failing trace: {exc}")
+    if args.shrink:
+        from repro.harness.fuzz import shrink_fuzz_failure
+
+        print("shrinking (bounded re-runs)...")
+        shrunk = shrink_fuzz_failure(
+            seed,
+            args.profile,
+            scale=args.scale,
+            preview=args.duration,
+            settle=args.settle,
+            max_iterations=args.shrink_iterations,
+        )
+        print(
+            f"minimal reproducer after {shrunk.iterations} runs "
+            f"({shrunk.removed} phases removed):"
+        )
+        for phase in shrunk.scenario.phases:
+            print(f"  {phase!r}")
+
+
 def _cmd_perf(args) -> int:
     from repro.perf import format_report
 
@@ -476,6 +722,113 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_jobs_flag(perf_parser)
 
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="run generated random scenarios through the invariant "
+        "harness",
+    )
+    fuzz_parser.add_argument(
+        "--seeds", type=int, default=20, metavar="N",
+        help="how many consecutive seeds to fuzz (default 20)",
+    )
+    fuzz_parser.add_argument(
+        "--seed-start", type=int, default=0, metavar="S",
+        help="first seed of the campaign (default 0)",
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="fuzz exactly this one seed (overrides --seeds)",
+    )
+    fuzz_parser.add_argument(
+        "--profile", default="default",
+        help="fuzz profile: 'default' (workload only) or 'faulty' "
+        "(adds crash/degrade fault phases)",
+    )
+    fuzz_parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="population/policy/capacity scale factor (default 0.25)",
+    )
+    fuzz_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="truncate generated scenarios to this many simulated "
+        "seconds",
+    )
+    fuzz_parser.add_argument(
+        "--settle", type=float, default=10.0,
+        help="extra simulated seconds before the invariant audit "
+        "(default 10)",
+    )
+    fuzz_parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run each seed on the space-partitioned kernel with N "
+        "shards (workload profiles only)",
+    )
+    fuzz_parser.add_argument(
+        "--shrink", action="store_true",
+        help="on failure, shrink the seed to a minimal phase list",
+    )
+    fuzz_parser.add_argument(
+        "--shrink-iterations", type=int, default=24, metavar="N",
+        help="re-run budget for --shrink (default 24)",
+    )
+    fuzz_parser.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="on failure, record the failing run's trace into DIR",
+    )
+    add_jobs_flag(fuzz_parser)
+
+    record_parser = sub.add_parser(
+        "record",
+        help="run scenarios with the trace recorder and write .trace "
+        "files",
+    )
+    record_parser.add_argument(
+        "scenarios", nargs="+", metavar="scenario",
+        help="registered scenario name(s); several fan out (see --jobs)",
+    )
+    record_parser.add_argument(
+        "--backend", default="matrix", choices=backend_names()
+    )
+    record_parser.add_argument("--seed", type=int, default=0)
+    record_parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="population/policy/capacity scale factor (default 0.1)",
+    )
+    record_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="truncate the scenario to this many simulated seconds",
+    )
+    record_parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="record from the space-partitioned kernel with N shards "
+        "(the trace is identical at any N)",
+    )
+    record_parser.add_argument(
+        "--out", default="traces", metavar="PATH",
+        help="output directory, or a single .trace file path when one "
+        "scenario is named (default: traces/)",
+    )
+    add_jobs_flag(record_parser)
+
+    replay_parser = sub.add_parser(
+        "replay",
+        help="re-run recorded traces through the replay backend",
+    )
+    replay_parser.add_argument(
+        "traces", nargs="+", metavar="trace", help=".trace file path(s)"
+    )
+    replay_parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="assert the trace was recorded on this backend "
+        "(exit 2 on mismatch)",
+    )
+
+    diff_parser = sub.add_parser(
+        "diff", help="regression-compare two trace files"
+    )
+    diff_parser.add_argument("trace_a", metavar="a")
+    diff_parser.add_argument("trace_b", metavar="b")
+
     args = parser.parse_args(argv)
     if args.command == "list-scenarios":
         _print_scenarios()
@@ -494,6 +847,14 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
+    if args.command == "record":
+        return _cmd_record(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
     return 2
 
 

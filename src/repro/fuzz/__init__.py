@@ -1,0 +1,42 @@
+"""Generative scenario fuzzing for the lifecycle state machines.
+
+Three layers, composable and individually testable:
+
+* :mod:`repro.fuzz.generator` — ``generate_scenario(seed, profile)``
+  deterministically samples a valid phase sequence from the named RNG
+  streams;
+* :mod:`repro.fuzz.invariants` — the global health checks a settled
+  run must pass (full coverage, no leaked hosts, conserved clients, no
+  stuck watchdogs, finite recovery);
+* :mod:`repro.fuzz.shrink` — ddmin-style reduction of a failing
+  scenario to a minimal phase list.
+
+The execution glue (running a generated scenario through
+``run_scenario`` and auditing it) lives in
+:mod:`repro.harness.fuzz`, next to the other grid cells.
+"""
+
+from repro.fuzz.generator import (
+    FUZZ_PROFILES,
+    FuzzProfile,
+    fuzz_profile,
+    generate_scenario,
+)
+from repro.fuzz.invariants import (
+    COVERAGE_EPSILON,
+    check_invariants,
+    snapshot_lifecycle,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink_scenario
+
+__all__ = [
+    "COVERAGE_EPSILON",
+    "FUZZ_PROFILES",
+    "FuzzProfile",
+    "ShrinkResult",
+    "check_invariants",
+    "fuzz_profile",
+    "generate_scenario",
+    "shrink_scenario",
+    "snapshot_lifecycle",
+]

@@ -1,0 +1,289 @@
+"""Deterministic property-based scenario generation.
+
+``generate_scenario(seed, profile)`` samples a *valid* scenario — one
+that passes every ``__post_init__`` check in
+:mod:`repro.workload.scenarios.spec` — from the named
+:class:`~repro.sim.rng.RngRegistry` streams, so the same seed always
+yields the same scenario, on every machine, at every ``--jobs`` count.
+The scenario's name embeds the seed (``fuzz-default-17``), which is how
+a CI failure three layers deep stays reproducible from its log line.
+
+A :class:`FuzzProfile` bounds the sampling space: phase count, client
+budget, duration window, and whether fault phases (``ServerCrash``,
+``CoordinatorCrash``, ``LinkDegrade``/``Recovery``) may be drawn.
+Fault times are confined to the first 60% of the run so recovery can
+complete inside the invariant harness's settle window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.rng import RngRegistry
+from repro.workload.mobility import MobilitySpec
+from repro.workload.scenarios.spec import (
+    ArrivalWave,
+    Churn,
+    CoordinatorCrash,
+    Departure,
+    HotspotWave,
+    LinkDegrade,
+    MapPoint,
+    Migration,
+    Phase,
+    Recovery,
+    Scenario,
+    ServerCrash,
+)
+
+#: Mobility kinds safe to sample for arrival waves (parameter-free).
+_ARRIVAL_MOBILITY = (None, "random_waypoint", "stationary", "teleport")
+
+#: Victim-selection rules ``ServerCrash`` accepts.
+_CRASH_VICTIMS = ("youngest", "oldest", "busiest", "splitting")
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """Bounds of the scenario space one fuzz campaign samples from."""
+
+    name: str
+    min_phases: int = 2
+    max_phases: int = 6
+    max_clients: int = 240
+    min_duration: float = 40.0
+    max_duration: float = 110.0
+    faults: bool = False
+    max_faults: int = 2
+    games: tuple[str, ...] = ("bzflag", "daimonin")
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("fuzz profile name must be non-empty")
+        if not 1 <= self.min_phases <= self.max_phases:
+            raise ValueError(
+                f"phase bounds out of order: "
+                f"[{self.min_phases}, {self.max_phases}]"
+            )
+        if self.max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1: {self.max_clients}")
+        if not 0 < self.min_duration <= self.max_duration:
+            raise ValueError(
+                f"duration bounds out of order: "
+                f"[{self.min_duration}, {self.max_duration}]"
+            )
+        if not self.games:
+            raise ValueError("fuzz profile needs at least one game")
+
+
+#: The built-in campaign profiles ``--profile`` selects from.
+FUZZ_PROFILES: dict[str, FuzzProfile] = {
+    "default": FuzzProfile(name="default"),
+    "faulty": FuzzProfile(name="faulty", faults=True, max_phases=5),
+}
+
+
+def fuzz_profile(name: str) -> FuzzProfile:
+    """Look up a registered :class:`FuzzProfile` by name."""
+    try:
+        return FUZZ_PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fuzz profile {name!r}; "
+            f"known: {sorted(FUZZ_PROFILES)}"
+        ) from None
+
+
+def _map_point(rng) -> MapPoint:
+    # Stay off the world border so Gaussian placement and hotspot
+    # loitering keep most of the group inside a single partition's
+    # neighbourhood rather than clamped onto an edge.
+    return MapPoint(
+        u=round(rng.uniform(0.15, 0.85), 3),
+        v=round(rng.uniform(0.15, 0.85), 3),
+    )
+
+
+def _arrival_mobility(rng) -> MobilitySpec | None:
+    kind = rng.choice(_ARRIVAL_MOBILITY)
+    if kind is None:
+        return None
+    return MobilitySpec(kind=kind)
+
+
+def generate_scenario(
+    seed: int,
+    profile: FuzzProfile | str | None = None,
+    *,
+    faults: bool | None = None,
+) -> Scenario:
+    """Sample one valid :class:`Scenario` from *seed*.
+
+    *profile* bounds the sampling space (name or instance; default the
+    ``"default"`` profile); ``faults=`` overrides the profile's fault
+    knob without defining a new profile.  Same arguments, same
+    scenario — all randomness flows from one named registry stream.
+    """
+    if profile is None:
+        profile = FUZZ_PROFILES["default"]
+    elif isinstance(profile, str):
+        profile = fuzz_profile(profile)
+    if faults is not None and faults != profile.faults:
+        profile = replace(profile, faults=faults)
+    rng = RngRegistry(seed=seed).stream(f"fuzz.{profile.name}")
+
+    duration = round(
+        rng.uniform(profile.min_duration, profile.max_duration), 1
+    )
+    game = rng.choice(sorted(profile.games))
+
+    # Every scenario opens with a base population at t=0 so the
+    # backend has someone to serve before later phases land.
+    base_count = rng.randint(
+        max(1, profile.max_clients // 8), max(2, profile.max_clients // 4)
+    )
+    budget = profile.max_clients - base_count
+    phases: list[Phase] = [
+        ArrivalWave(
+            count=base_count,
+            at=0.0,
+            group="base",
+            mobility=_arrival_mobility(rng),
+        )
+    ]
+    # group -> earliest time its members exist (Migration/Departure
+    # drawn against a group are scheduled after it has population).
+    groups: dict[str, float] = {"base": 0.0}
+    hotspot_groups: dict[str, float] = {}
+
+    extra = rng.randint(profile.min_phases, profile.max_phases) - 1
+    for index in range(max(0, extra)):
+        at = round(rng.uniform(2.0, duration * 0.7), 1)
+        kinds = ["arrival", "hotspot", "churn"]
+        if hotspot_groups:
+            kinds.append("migration")
+        if groups:
+            kinds.append("departure")
+        kind = rng.choice(kinds)
+        if kind == "arrival" and budget >= 1:
+            count = rng.randint(1, max(1, min(budget, 60)))
+            budget -= count
+            group = f"wave{index}"
+            center = _map_point(rng) if rng.random() < 0.4 else None
+            phases.append(
+                ArrivalWave(
+                    count=count,
+                    at=at,
+                    group=group,
+                    mobility=_arrival_mobility(rng),
+                    over=round(rng.choice((0.0, 2.0, 5.0)), 1),
+                    center=center,
+                )
+            )
+            groups[group] = at
+        elif kind == "hotspot" and budget >= 1:
+            count = rng.randint(1, max(1, min(budget, 80)))
+            budget -= count
+            group = f"hot{index}"
+            phases.append(
+                HotspotWave(
+                    count=count,
+                    center=_map_point(rng),
+                    at=at,
+                    group=group,
+                    over=round(rng.uniform(1.0, 4.0), 1),
+                )
+            )
+            groups[group] = at
+            hotspot_groups[group] = at
+        elif kind == "churn":
+            start = at
+            stop = round(
+                min(duration * 0.85, start + rng.uniform(5.0, 20.0)), 1
+            )
+            if stop <= start:
+                stop = round(start + 5.0, 1)
+            rate = round(rng.uniform(0.2, 1.5), 2)
+            expected = int(rate * (stop - start))
+            budget = max(0, budget - expected)
+            phases.append(
+                Churn(
+                    rate=rate,
+                    start=start,
+                    stop=stop,
+                    group=f"churn{index}",
+                    session=round(rng.uniform(10.0, 40.0), 1),
+                )
+            )
+        elif kind == "migration":
+            group = rng.choice(sorted(hotspot_groups))
+            phases.append(
+                Migration(
+                    group=group,
+                    center=_map_point(rng),
+                    at=round(
+                        max(at, hotspot_groups[group] + 5.0), 1
+                    ),
+                )
+            )
+        elif kind == "departure":
+            group = rng.choice(sorted(groups))
+            phases.append(
+                Departure(
+                    group=group,
+                    batch=rng.randint(2, 8),
+                    start=round(max(at, groups[group] + 5.0), 1),
+                    interval=round(rng.uniform(1.0, 4.0), 1),
+                )
+            )
+        # An arrival/hotspot draw with no budget left adds nothing:
+        # the phase count is a bound, not a promise.
+
+    if profile.faults:
+        phases.extend(_sample_faults(rng, duration, profile.max_faults))
+
+    return Scenario(
+        name=f"fuzz-{profile.name}-{seed}",
+        description=(
+            f"generated scenario (profile={profile.name}, seed={seed}, "
+            f"{len(phases)} phases)"
+        ),
+        phases=tuple(phases),
+        duration=duration,
+        game=game,
+    )
+
+
+def _sample_faults(rng, duration: float, max_faults: int) -> list[Phase]:
+    """Draw the fault phases: bounded count, mid-run, recoverable.
+
+    Times stay inside ``[0.25, 0.6] * duration`` so crash detection,
+    host reboot and standby promotion all finish before the invariant
+    harness audits the settled deployment.  At most one
+    ``CoordinatorCrash`` is drawn — there is one standby to promote.
+    """
+    faults: list[Phase] = []
+    count = rng.randint(1, max(1, max_faults))
+    mc_crashed = False
+    for _ in range(count):
+        at = round(rng.uniform(duration * 0.25, duration * 0.6), 1)
+        choice = rng.choice(("server", "coordinator", "link"))
+        if choice == "coordinator" and not mc_crashed:
+            mc_crashed = True
+            faults.append(CoordinatorCrash(at=at))
+        elif choice == "link":
+            window = round(rng.uniform(3.0, 10.0), 1)
+            faults.append(
+                LinkDegrade(
+                    at=at,
+                    duration=window,
+                    drop_rate=round(rng.uniform(0.01, 0.3), 3),
+                    duplicate_rate=round(rng.choice((0.0, 0.05)), 3),
+                )
+            )
+            faults.append(Recovery(at=round(at + window, 1)))
+        else:
+            faults.append(
+                ServerCrash(at=at, victim=rng.choice(_CRASH_VICTIMS))
+            )
+    return faults

@@ -1,0 +1,128 @@
+"""The global invariants every generated scenario must uphold.
+
+These are statements about the *lifecycle state machines*, not about
+any particular workload: whatever phase sequence the generator sampled,
+after the run settles the deployment must cover the whole world, leak
+no pool hosts, account for every client, leave no split/reclaim stuck
+in flight, and — when faults were injected — have finished recovering
+from all of them.  :func:`check_invariants` returns the violations as
+strings (empty list == healthy), so the harness can aggregate them into
+one reproducible failure.
+
+Checks that only exist on the matrix backend (deployment audit,
+coverage) degrade to no-ops on backends without a ``deployment``, so
+the same harness runs generated scenarios on every backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Tolerance on the coverage ratio (sum of float rect areas).
+COVERAGE_EPSILON = 1e-6
+
+
+def snapshot_lifecycle(experiment: Any) -> dict[str, str | None]:
+    """In-flight split transfers at this instant (server -> held host).
+
+    Taken right when ``run_scenario`` returns (t == horizon) and
+    compared after the settle window: a server still in flight *with
+    the same host* never completed nor aborted its transfer — a stuck
+    watchdog.  A healthy split finishes (leaves the map) or a new one
+    starts (different host), so the pairwise comparison is exact.
+    """
+    deployment = getattr(experiment, "deployment", None)
+    if deployment is None:
+        return {}
+    return {
+        name: server.lifecycle.in_flight_host
+        for name, server in deployment.matrix_servers.items()
+        if server.lifecycle.split_in_flight
+    }
+
+
+def check_invariants(
+    outcome: Any,
+    *,
+    pre_settle: dict[str, str | None] | None = None,
+    recovery_bound: float = 60.0,
+) -> list[str]:
+    """Audit a settled run; returns violation strings (empty == ok).
+
+    Call after the settle window (``experiment.sim.run(until=horizon +
+    settle)``) — mid-flight transfers and release grace windows are
+    legitimate before then.  *pre_settle* is the
+    :func:`snapshot_lifecycle` taken at the horizon; *recovery_bound*
+    caps every crash-to-recovery latency.
+    """
+    violations: list[str] = []
+    experiment = outcome.experiment
+    deployment = getattr(experiment, "deployment", None)
+
+    if deployment is not None:
+        coordinator = deployment.coordinator
+        standby = deployment.standby_coordinator
+        if standby is not None and getattr(standby, "promoted", False):
+            coordinator = standby
+        world_area = experiment.profile.world.area
+        ratio = coordinator.coverage_area() / world_area
+        if abs(ratio - 1.0) > COVERAGE_EPSILON:
+            violations.append(
+                f"coverage_ratio == {ratio:.9f}, expected 1.0: the "
+                f"registered partitions do not tile the world"
+            )
+        leaked = deployment.unaccounted_hosts()
+        if leaked:
+            violations.append(
+                f"unaccounted_hosts() == {leaked}: pool hosts leaked "
+                f"by the split/reclaim/crash lifecycle"
+            )
+        deployed = deployment.total_clients()
+        active = len(experiment.fleet.active_clients())
+        if deployed != active:
+            violations.append(
+                f"client population not conserved: servers hold "
+                f"{deployed} clients but the fleet has {active} active"
+            )
+        if pre_settle:
+            post = snapshot_lifecycle(experiment)
+            stuck = sorted(
+                name
+                for name, host in pre_settle.items()
+                if post.get(name) == host and host is not None
+            )
+            if stuck:
+                violations.append(
+                    f"stuck lifecycle watchdogs: {stuck} still hold "
+                    f"the same in-flight host after the settle window"
+                )
+
+    chaos = getattr(experiment, "chaos", None)
+    if chaos is not None:
+        report = chaos.report()
+        if not report.all_recovered():
+            pending = [
+                record
+                for record in report.recoveries
+                if record.recovery_time is None
+            ]
+            violations.append(
+                f"{len(pending)} crash(es) never recovered within the "
+                f"settle window"
+            )
+        times = report.recovery_times()
+        if times and max(times) > recovery_bound:
+            violations.append(
+                f"recovery took {max(times):.2f}s, over the "
+                f"{recovery_bound:.0f}s bound"
+            )
+        mc_injected = any(
+            record.fault == "CoordinatorCrash" and record.status == "injected"
+            for record in report.faults
+        )
+        if mc_injected and report.mc_promoted_at is None:
+            violations.append(
+                "CoordinatorCrash was injected but the standby MC "
+                "never promoted itself"
+            )
+    return violations

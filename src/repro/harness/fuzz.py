@@ -1,0 +1,278 @@
+"""Executing generated scenarios and auditing the invariants.
+
+:func:`run_fuzz_case` is the whole pipeline for one seed: generate →
+run on a backend → settle → :func:`repro.fuzz.invariants.
+check_invariants`.  :func:`fuzz_cell` wraps it as a module-level,
+picklable grid cell (raising :class:`FuzzInvariantError` on any
+violation) so campaigns fan out over the ``spawn`` pool exactly like
+the benchmark grids; the cell key embeds the generator seed
+(``fuzz/default/seed=17``), which makes every CI log line a
+reproduction command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.fuzz.generator import FuzzProfile, fuzz_profile, generate_scenario
+from repro.fuzz.invariants import check_invariants, snapshot_lifecycle
+from repro.fuzz.shrink import ShrinkResult, shrink_scenario
+from repro.harness.parallel import GridCell, GridTask, run_grid
+from repro.workload.scenarios.spec import Scenario
+
+#: An extra invariant: ``(outcome) -> list of violation strings``.
+ExtraInvariant = Callable[..., list]
+
+
+class FuzzInvariantError(AssertionError):
+    """A generated scenario violated a global invariant.
+
+    The message leads with the reproduction coordinates — profile and
+    seed — because that is what a CI log must surface: the same seed
+    regenerates the same scenario anywhere.
+    """
+
+    def __init__(
+        self, seed: int, profile: str, scenario: Scenario,
+        violations: list,
+    ) -> None:
+        self.seed = seed
+        self.profile = profile
+        self.scenario = scenario
+        self.violations = list(violations)
+        details = "\n".join(f"  - {violation}" for violation in violations)
+        super().__init__(
+            f"fuzz seed={seed} (profile={profile}, "
+            f"scenario {scenario.name!r}, {len(scenario.phases)} phases) "
+            f"violated {len(violations)} invariant(s):\n{details}\n"
+            f"reproduce: python -m repro fuzz --seed {seed} "
+            f"--profile {profile}"
+        )
+
+
+@dataclass
+class FuzzCase:
+    """One audited seed (violations empty == healthy)."""
+
+    seed: int
+    profile: str
+    scenario: Scenario
+    violations: list
+    events_processed: int
+    peak_servers: int
+    total_clients: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def phase_kinds(self) -> list[str]:
+        return [type(phase).__name__ for phase in self.scenario.phases]
+
+
+def run_fuzz_case(
+    seed: int,
+    profile: "FuzzProfile | str | None" = None,
+    *,
+    backend: str = "matrix",
+    scale: float = 0.25,
+    preview: float | None = None,
+    settle: float = 10.0,
+    shards: int | None = None,
+    extra_invariants: Sequence[ExtraInvariant] = (),
+    faults: bool | None = None,
+    recovery_bound: float = 60.0,
+) -> FuzzCase:
+    """Generate, run and audit one seed; never raises on violations.
+
+    The scaled-profile/policy setup mirrors the benchmark grid cells
+    (same floors), so fuzzed dynamics at ``scale < 1`` still split and
+    reclaim.  *extra_invariants* are appended to the global checks —
+    the shrinker tests hook their known-bad predicate in through this.
+    """
+    from repro.harness.gridcells import _scaled_setup
+    from repro.harness.runner import run_scenario
+
+    if profile is None or isinstance(profile, str):
+        profile = fuzz_profile(profile or "default")
+    scenario = generate_scenario(seed, profile, faults=faults)
+    game_profile, policy = _scaled_setup(scenario.game, scale)
+    options: dict = {"seed": seed}
+    if backend == "matrix":
+        options["policy"] = policy
+        if shards is not None:
+            options["shards"] = shards
+    outcome = run_scenario(
+        scenario,
+        backend=backend,
+        profile=game_profile,
+        scale=scale,
+        preview=preview,
+        **options,
+    )
+    horizon = (
+        min(scenario.duration, preview)
+        if preview is not None
+        else scenario.duration
+    )
+    pre_settle = snapshot_lifecycle(outcome.experiment)
+    outcome.experiment.sim.run(until=horizon + settle)
+    violations = check_invariants(
+        outcome, pre_settle=pre_settle, recovery_bound=recovery_bound
+    )
+    for invariant in extra_invariants:
+        violations.extend(invariant(outcome))
+    result = outcome.result
+    return FuzzCase(
+        seed=seed,
+        profile=profile.name,
+        scenario=outcome.scenario,
+        violations=violations,
+        events_processed=getattr(result, "events_processed", 0),
+        peak_servers=getattr(
+            result, "peak_servers_in_use", getattr(result, "servers_used", 0)
+        ),
+        total_clients=len(outcome.experiment.fleet.active_clients()),
+    )
+
+
+def fuzz_cell(
+    seed: int,
+    profile: str,
+    scale: float,
+    preview: float | None,
+    settle: float,
+    backend: str = "matrix",
+    shards: int | None = None,
+    faults: bool | None = None,
+) -> dict:
+    """One picklable fuzz grid cell: audit *seed*, raise on violation.
+
+    Raising :class:`FuzzInvariantError` (rather than returning the
+    violations) is what routes a failure through
+    :class:`~repro.harness.parallel.GridTaskError` — whose message
+    leads with the cell key, and the key carries ``seed=N``.
+    """
+    case = run_fuzz_case(
+        seed,
+        profile,
+        backend=backend,
+        scale=scale,
+        preview=preview,
+        settle=settle,
+        shards=shards,
+        faults=faults,
+    )
+    if not case.ok:
+        raise FuzzInvariantError(
+            seed, case.profile, case.scenario, case.violations
+        )
+    return {
+        "seed": seed,
+        "phases": len(case.scenario.phases),
+        "phase_kinds": case.phase_kinds,
+        "events": case.events_processed,
+        "peak_servers": case.peak_servers,
+        "clients_at_end": case.total_clients,
+        "violations": 0,
+    }
+
+
+def fuzz_grid_tasks(
+    seeds: Iterable[int],
+    profile: str = "default",
+    *,
+    scale: float = 0.25,
+    preview: float | None = None,
+    settle: float = 10.0,
+    backend: str = "matrix",
+    shards: int | None = None,
+    faults: bool | None = None,
+) -> list[GridTask]:
+    """One :class:`GridTask` per seed, keyed ``("fuzz", profile,
+    "seed=N")`` so any worker failure names its generator seed."""
+    return [
+        GridTask(
+            key=("fuzz", profile, f"seed={seed}"),
+            fn=fuzz_cell,
+            kwargs={
+                "seed": seed,
+                "profile": profile,
+                "scale": scale,
+                "preview": preview,
+                "settle": settle,
+                "backend": backend,
+                "shards": shards,
+                "faults": faults,
+            },
+        )
+        for seed in seeds
+    ]
+
+
+def run_fuzz_grid(
+    seeds: Iterable[int],
+    profile: str = "default",
+    jobs: int | None = None,
+    **options,
+) -> list[GridCell]:
+    """Fan a fuzz campaign over the grid pool (see :func:`run_grid`)."""
+    return run_grid(
+        fuzz_grid_tasks(seeds, profile, **options), jobs=jobs
+    )
+
+
+def shrink_fuzz_failure(
+    seed: int,
+    profile: "FuzzProfile | str | None" = None,
+    *,
+    backend: str = "matrix",
+    scale: float = 0.25,
+    preview: float | None = None,
+    settle: float = 10.0,
+    extra_invariants: Sequence[ExtraInvariant] = (),
+    max_iterations: int = 24,
+    faults: bool | None = None,
+) -> ShrinkResult:
+    """Shrink the failing *seed* to a minimal phase list.
+
+    ``still_fails`` re-runs the full audit on each candidate, so every
+    iteration costs one simulation — *max_iterations* bounds the spend.
+    """
+    from repro.harness.gridcells import _scaled_setup
+    from repro.harness.runner import run_scenario
+
+    if profile is None or isinstance(profile, str):
+        profile = fuzz_profile(profile or "default")
+    scenario = generate_scenario(seed, profile, faults=faults)
+
+    def still_fails(candidate: Scenario) -> bool:
+        game_profile, policy = _scaled_setup(candidate.game, scale)
+        options: dict = {"seed": seed}
+        if backend == "matrix":
+            options["policy"] = policy
+        outcome = run_scenario(
+            candidate,
+            backend=backend,
+            profile=game_profile,
+            scale=scale,
+            preview=preview,
+            **options,
+        )
+        horizon = (
+            min(candidate.duration, preview)
+            if preview is not None
+            else candidate.duration
+        )
+        pre = snapshot_lifecycle(outcome.experiment)
+        outcome.experiment.sim.run(until=horizon + settle)
+        violations = check_invariants(outcome, pre_settle=pre)
+        for invariant in extra_invariants:
+            violations.extend(invariant(outcome))
+        return bool(violations)
+
+    return shrink_scenario(
+        scenario, still_fails, max_iterations=max_iterations
+    )

@@ -161,6 +161,7 @@ def _run_matrix(
     replicated_mc: bool | None = None,
     shards: int | None = None,
     shard_executor: str = "serial",
+    observe: Callable[[Any], None] | None = None,
 ) -> tuple[ExperimentResult, MatrixExperiment]:
     if replicated_mc is None:
         replicated_mc = _wants_standby_mc(scenario, chaos)
@@ -200,6 +201,8 @@ def _run_matrix(
         )
     scenario.install(experiment.fleet, profile)
     _arm_chaos(experiment, scenario, "matrix", chaos)
+    if observe is not None:
+        observe(experiment)
     return experiment.run(until=scenario.duration), experiment
 
 
@@ -223,6 +226,7 @@ def _run_static(
     queue_capacity: int | None = 20000,
     perf: PerfConfig | None = None,
     chaos: ChaosOptions | None = None,
+    observe: Callable[[Any], None] | None = None,
 ):
     from repro.baselines.static import StaticExperiment  # local: no cycle
 
@@ -238,6 +242,8 @@ def _run_static(
     )
     scenario.install(experiment.fleet, profile)
     _arm_chaos(experiment, scenario, "static", chaos)
+    if observe is not None:
+        observe(experiment)
     return experiment.run(until=scenario.duration), experiment
 
 
@@ -260,6 +266,7 @@ def _run_mirrored(
     queue_capacity: int | None = 20000,
     perf: PerfConfig | None = None,
     chaos: ChaosOptions | None = None,
+    observe: Callable[[Any], None] | None = None,
 ):
     from repro.baselines.mirrored import MirroredExperiment  # local: no cycle
 
@@ -272,6 +279,8 @@ def _run_mirrored(
     )
     scenario.install(experiment.fleet, profile)
     _arm_chaos(experiment, scenario, "mirrored", chaos)
+    if observe is not None:
+        observe(experiment)
     return experiment.run(until=scenario.duration), experiment
 
 
@@ -296,6 +305,7 @@ def _run_p2p(
     queue_capacity: int | None = 20000,
     perf: PerfConfig | None = None,
     chaos: ChaosOptions | None = None,
+    observe: Callable[[Any], None] | None = None,
 ):
     from repro.baselines.p2p import (  # local: no cycle
         DEFAULT_UPLINK_BYTES_PER_S,
@@ -319,6 +329,8 @@ def _run_p2p(
     )
     scenario.install(experiment.fleet, profile)
     _arm_chaos(experiment, scenario, "p2p", chaos)
+    if observe is not None:
+        observe(experiment)
     return experiment.run(until=scenario.duration), experiment
 
 
@@ -342,6 +354,7 @@ def _run_dht(
     queue_capacity: int | None = 20000,
     perf: PerfConfig | None = None,
     chaos: ChaosOptions | None = None,
+    observe: Callable[[Any], None] | None = None,
 ):
     from repro.baselines.dht import DhtExperiment  # local: no cycle
 
@@ -357,6 +370,8 @@ def _run_dht(
     )
     scenario.install(experiment.fleet, profile)
     _arm_chaos(experiment, scenario, "dht", chaos)
+    if observe is not None:
+        observe(experiment)
     return experiment.run(until=scenario.duration), experiment
 
 
@@ -367,6 +382,7 @@ def run_scenario(
     scale: float = 1.0,
     preview: float | None = None,
     chaos: "bool | str | ChaosOptions" = "auto",
+    observe: "Callable[[Any], None] | None" = None,
     **options,
 ) -> ScenarioOutcome:
     """Run *scenario* (an instance or a registered name) on *backend*.
@@ -381,8 +397,11 @@ def run_scenario(
     declares fault phases, ``False`` runs a chaos scenario with its
     faults disarmed, and a :class:`~repro.chaos.ChaosOptions` tunes
     the driver (and can add extra faults).  The armed driver is
-    reachable as ``outcome.experiment.chaos``.  Remaining keyword
-    options go to the backend runner verbatim.
+    reachable as ``outcome.experiment.chaos``.  ``observe`` is called
+    with the fully wired experiment *before* it runs — the hook the
+    trace recorder uses to tap the network (see
+    :mod:`repro.trace.recorder`).  Remaining keyword options go to the
+    backend runner verbatim.
     """
     if isinstance(scenario, str):
         scenario = build_scenario(scenario)
@@ -399,7 +418,11 @@ def run_scenario(
             f"unknown backend {backend!r}; known: {backend_names()}"
         ) from None
     result, experiment = runner(
-        scenario, profile, chaos=_resolve_chaos(scenario, chaos), **options
+        scenario,
+        profile,
+        chaos=_resolve_chaos(scenario, chaos),
+        observe=observe,
+        **options,
     )
     return ScenarioOutcome(
         scenario=scenario,
@@ -407,3 +430,9 @@ def run_scenario(
         result=result,
         experiment=experiment,
     )
+
+
+# Registers the "replay" scenario backend (trace files as first-class
+# workloads).  Bottom-of-module so repro.trace.replay can import the
+# decorator from this, already-initialised, module.
+import repro.trace.replay  # noqa: E402,F401  (registration side effect)

@@ -84,6 +84,11 @@ class Network:
         # and invalidated whenever any rule changes.
         self._profile_cache: dict[tuple[str, str], LinkProfile] = {}
         self.stats = TrafficStats()
+        #: Send-side observers: each tap is called with every message
+        #: right after it is accounted (``sent_at`` already stamped).
+        #: The trace recorder subscribes here; the hot path pays one
+        #: falsy check when no tap is installed.
+        self._taps: list = []
         self.delivered_count = 0
         #: Messages addressed to a node that was gone at send time or
         #: vanished in flight (decommission races, chaos crashes).
@@ -171,6 +176,24 @@ class Network:
         self._profile_cache[key] = profile
         return profile
 
+    # ------------------------------------------------------------------
+    # Stats taps
+    # ------------------------------------------------------------------
+    def add_tap(self, tap) -> None:
+        """Subscribe *tap* to every sent message (``tap(message)``).
+
+        Taps observe the send-side stream exactly as the traffic stats
+        do — after ``sent_at`` is stamped, before delivery scheduling —
+        so a tap sees dropped/undeliverable messages too.  Used by
+        :class:`repro.trace.recorder.TraceRecorder`.
+        """
+        self._taps.append(tap)
+
+    def remove_tap(self, tap) -> None:
+        """Unsubscribe a previously added tap (idempotent)."""
+        if tap in self._taps:
+            self._taps.remove(tap)
+
     def _resolve_profile(self, src: str, dst: str) -> LinkProfile:
         """Uncached rule walk: colocation, exact pair, prefix, default."""
         if self._colocated.get(src) == dst:
@@ -196,6 +219,9 @@ class Network:
         """
         message.sent_at = self.sim.now
         self.stats.record(message)
+        if self._taps:
+            for tap in self._taps:
+                tap(message)
         if self._perf_sent is not None:
             self._perf_sent.add(message.size_bytes)
         if message.dst not in self._nodes:

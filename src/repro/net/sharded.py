@@ -224,6 +224,12 @@ class ShardedNetwork(Network):
         src_slot = self._slot_of(sim)
         message.sent_at = sim._now
         self._lane_stats[src_slot].record(message)
+        if self._taps:
+            # Taps may fire from any lane (thread executor included);
+            # observers needing a canonical order sort on their own
+            # buffered events (the trace recorder does).
+            for tap in self._taps:
+                tap(message)
         sent = self._lane_sent[src_slot]
         sent[0] += 1
         sent[1] += message.size_bytes

@@ -1,0 +1,121 @@
+"""Regression-diffing two trace files.
+
+``diff_traces`` compares the client-visible streams of two recordings:
+same scenario + same seed + same build should produce *identical*
+traces, so any difference is a behaviour change to explain.  The
+comparison is a multiset diff over canonical events — reordering of
+identical tuples can never register as drift, only genuinely different
+messages can.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.trace.format import TraceEvent, TraceHeader, read_trace
+
+#: How many concrete example events each side of a drift report shows.
+EXAMPLE_LIMIT = 5
+
+#: Header fields whose disagreement makes a diff apples-to-oranges.
+_HEADER_FIELDS = (
+    "scenario",
+    "backend",
+    "game",
+    "seed",
+    "scale",
+    "duration",
+    "version",
+)
+
+
+@dataclass
+class TraceDiff:
+    """What differs between two traces (empty == bit-identical)."""
+
+    header_mismatches: dict[str, tuple[object, object]]
+    events_a: int
+    events_b: int
+    only_a: int
+    only_b: int
+    examples_a: list[TraceEvent] = field(default_factory=list)
+    examples_b: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the traces are identical streams of the same run."""
+        return (
+            not self.header_mismatches
+            and self.only_a == 0
+            and self.only_b == 0
+        )
+
+
+def diff_headers(
+    a: TraceHeader, b: TraceHeader
+) -> dict[str, tuple[object, object]]:
+    """Fields on which the two headers disagree (``field -> (a, b)``)."""
+    return {
+        name: (getattr(a, name), getattr(b, name))
+        for name in _HEADER_FIELDS
+        if getattr(a, name) != getattr(b, name)
+    }
+
+
+def diff_traces(
+    path_a: str | Path, path_b: str | Path
+) -> TraceDiff:
+    """Compare the trace files at *path_a* and *path_b*."""
+    header_a, events_a = read_trace(path_a)
+    header_b, events_b = read_trace(path_b)
+    mismatches = diff_headers(header_a, header_b)
+    if header_a.digest == header_b.digest:
+        # Digests cover the canonical event lines, so equal digests mean
+        # equal streams — skip the multiset walk.
+        return TraceDiff(
+            header_mismatches=mismatches,
+            events_a=len(events_a),
+            events_b=len(events_b),
+            only_a=0,
+            only_b=0,
+        )
+    counts_a = Counter(events_a)
+    counts_a.subtract(events_b)
+    only_a = +counts_a  # events over-represented in a
+    only_b = -counts_a  # events over-represented in b
+    return TraceDiff(
+        header_mismatches=mismatches,
+        events_a=len(events_a),
+        events_b=len(events_b),
+        only_a=sum(only_a.values()),
+        only_b=sum(only_b.values()),
+        examples_a=sorted(only_a.elements())[:EXAMPLE_LIMIT],
+        examples_b=sorted(only_b.elements())[:EXAMPLE_LIMIT],
+    )
+
+
+def format_diff(
+    diff: TraceDiff, label_a: str = "a", label_b: str = "b"
+) -> str:
+    """Human-readable report of one :class:`TraceDiff`."""
+    if diff.clean:
+        return (
+            f"traces identical: {diff.events_a} events, no drift "
+            f"({label_a} == {label_b})"
+        )
+    lines = [f"traces differ ({label_a} vs {label_b}):"]
+    for name, (value_a, value_b) in sorted(diff.header_mismatches.items()):
+        lines.append(f"  header.{name}: {value_a!r} != {value_b!r}")
+    if diff.only_a or diff.only_b:
+        lines.append(
+            f"  events: {diff.events_a} vs {diff.events_b} "
+            f"({diff.only_a} only in {label_a}, "
+            f"{diff.only_b} only in {label_b})"
+        )
+        for event in diff.examples_a:
+            lines.append(f"    - only {label_a}: {list(event)}")
+        for event in diff.examples_b:
+            lines.append(f"    - only {label_b}: {list(event)}")
+    return "\n".join(lines)

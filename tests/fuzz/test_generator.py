@@ -1,0 +1,127 @@
+"""The scenario generator: deterministic, valid, bounded."""
+
+import pytest
+
+from repro.fuzz.generator import (
+    FUZZ_PROFILES,
+    FuzzProfile,
+    fuzz_profile,
+    generate_scenario,
+)
+from repro.workload.scenarios.spec import (
+    ArrivalWave,
+    Churn,
+    FaultPhase,
+    HotspotWave,
+    LinkDegrade,
+    Recovery,
+    Scenario,
+)
+
+SEEDS = range(24)
+
+
+def test_same_seed_same_scenario():
+    for seed in SEEDS:
+        assert generate_scenario(seed) == generate_scenario(seed)
+    assert generate_scenario(3, "faulty") == generate_scenario(3, "faulty")
+
+
+def test_seed_embedded_in_name():
+    for seed in (0, 7, 8143):
+        assert generate_scenario(seed).name == f"fuzz-default-{seed}"
+    assert generate_scenario(9, "faulty").name == "fuzz-faulty-9"
+
+
+def test_scenarios_are_valid_specs():
+    for seed in SEEDS:
+        scenario = generate_scenario(seed)
+        assert isinstance(scenario, Scenario)
+        assert scenario.duration > 0
+        assert scenario.phases, "every scenario carries phases"
+        first = scenario.phases[0]
+        assert isinstance(first, ArrivalWave) and first.at == 0.0
+        for phase in scenario.phases:
+            if isinstance(phase, (ArrivalWave, HotspotWave)):
+                assert phase.count >= 1
+            if isinstance(phase, Churn):
+                assert phase.stop > phase.start > 0
+
+
+def test_seeds_vary_the_shape():
+    shapes = {
+        tuple(type(p).__name__ for p in generate_scenario(seed).phases)
+        for seed in SEEDS
+    }
+    assert len(shapes) > len(SEEDS) // 2, "seeds should explore the space"
+
+
+def test_scaled_and_preview_roundtrip():
+    """Satellite 1: generated scenarios survive scaled() and preview()
+    without tripping any ``__post_init__`` validation."""
+    for profile in ("default", "faulty"):
+        for seed in range(12):
+            scenario = generate_scenario(seed, profile)
+            for factor in (0.05, 0.5, 3.0):
+                scaled = scenario.scaled(factor)
+                assert len(scaled.phases) == len(scenario.phases)
+                for phase in scaled.phases:
+                    if isinstance(phase, (ArrivalWave, HotspotWave)):
+                        assert phase.count >= 1
+            preview = scenario.preview(10.0)
+            assert preview.duration == 10.0
+            assert preview.scaled(0.1).duration == 10.0
+
+
+def test_faults_knob_overrides_profile():
+    assert not generate_scenario(4).has_faults
+    assert generate_scenario(4, faults=True).has_faults
+    assert not generate_scenario(4, "faulty", faults=False).has_faults
+    for seed in range(12):
+        assert generate_scenario(seed, "faulty").has_faults
+
+
+def test_fault_times_leave_room_to_recover():
+    for seed in range(16):
+        scenario = generate_scenario(seed, "faulty")
+        for fault in scenario.fault_phases():
+            assert fault.at < scenario.duration * 0.75
+            if isinstance(fault, LinkDegrade):
+                assert fault.at + fault.duration <= scenario.duration
+
+
+def test_every_degrade_window_is_closed():
+    for seed in range(16):
+        scenario = generate_scenario(seed, "faulty")
+        faults = scenario.fault_phases()
+        degrades = sum(isinstance(f, LinkDegrade) for f in faults)
+        recoveries = sum(isinstance(f, Recovery) for f in faults)
+        assert recoveries >= degrades
+
+
+def test_workload_default_has_no_faults():
+    for seed in SEEDS:
+        assert not any(
+            isinstance(phase, FaultPhase)
+            for phase in generate_scenario(seed).phases
+        )
+
+
+def test_profile_registry():
+    assert fuzz_profile("default") is FUZZ_PROFILES["default"]
+    assert fuzz_profile("faulty").faults
+    with pytest.raises(ValueError, match="unknown fuzz profile"):
+        fuzz_profile("nope")
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        FuzzProfile(name="")
+    with pytest.raises(ValueError):
+        FuzzProfile(name="x", min_phases=5, max_phases=2)
+    with pytest.raises(ValueError):
+        FuzzProfile(name="x", max_clients=0)
+    with pytest.raises(ValueError):
+        FuzzProfile(name="x", min_duration=50.0, max_duration=10.0)
+    with pytest.raises(ValueError):
+        FuzzProfile(name="x", games=())
