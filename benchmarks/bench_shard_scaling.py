@@ -16,6 +16,13 @@ counts and records two very different things:
   than a fabricated speedup; on multi-core free-threaded hosts the
   same JSON records the real scaling.  ``scripts/check_perf_regression.py``
   tolerates this section (see docs/BENCHMARKS.md).
+
+Besides the serial rows, the bench runs one thread-executor row at the
+top shard count and a **process-executor curve** (every shard count
+above 1): forked lane workers exchanging messages and state deltas.
+Those rows join the same determinism assertion — byte-identical
+``TrafficStats`` whatever the executor — and their wall/speedup
+numbers land in the timing section, keyed ``<N>-process``.
 """
 
 from __future__ import annotations
@@ -101,6 +108,12 @@ def test_shard_scaling(benchmark):
         row, wall = shard_run(SHARD_COUNTS[-1], executor="thread")
         rows[f"{SHARD_COUNTS[-1]}-thread"] = row
         walls[f"{SHARD_COUNTS[-1]}-thread"] = wall
+        # The process-executor curve: forked lane workers at every
+        # shard count above 1 — the multi-core path's honest numbers.
+        for shards in SHARD_COUNTS[1:]:
+            row, wall = shard_run(shards, executor="process")
+            rows[f"{shards}-process"] = row
+            walls[f"{shards}-process"] = wall
         return rows
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
@@ -112,9 +125,7 @@ def test_shard_scaling(benchmark):
         for name in INVARIANT_KEYS
     )
     speedups = {
-        str(shards): walls["1"] / walls[str(shards)]
-        for shards in SHARD_COUNTS
-        if shards != 1
+        key: walls["1"] / walls[key] for key in walls if key != "1"
     }
 
     lines = [
@@ -146,7 +157,8 @@ def test_shard_scaling(benchmark):
         },
         timing={
             "cpu_count": os.cpu_count(),
-            "executor": "serial (plus one thread row at the top count)",
+            "executor": "serial (plus a thread row at the top count "
+            "and a <N>-process curve of forked lane workers)",
             "wall_seconds": walls,
             "speedup_vs_1shard": speedups,
         },

@@ -130,6 +130,18 @@ class ChaosDriver:
         """Everything this driver will inject."""
         return self._faults
 
+    def has_crash_faults(self) -> bool:
+        """True when any scheduled fault kills a node outright.
+
+        Crash faults mutate foreign lanes mid-window, so sharded runs
+        refuse them; link degradation (and recovery) is barrier-safe
+        and allowed everywhere.
+        """
+        return any(
+            isinstance(fault, (ServerCrash, CoordinatorCrash))
+            for fault in self._faults
+        )
+
     # ------------------------------------------------------------------
     # Arming
     # ------------------------------------------------------------------

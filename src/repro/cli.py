@@ -659,12 +659,15 @@ def main(argv: list[str] | None = None) -> int:
         "--shards", type=int, default=None, metavar="N",
         help="run the matrix backend on the space-partitioned parallel "
         "kernel with N shards (same seed gives identical results at "
-        "any N; incompatible with chaos faults)",
+        "any N; incompatible with crash faults — LinkDegrade chaos "
+        "is fine)",
     )
     run_parser.add_argument(
         "--shard-executor", default="serial",
-        choices=("serial", "thread"),
-        help="how shard lanes execute their windows (default: serial)",
+        choices=("serial", "thread", "process"),
+        help="how shard lanes execute their windows (default: serial; "
+        "process forks one worker per lane for real multi-core "
+        "speedup with identical results)",
     )
     add_jobs_flag(run_parser)
 

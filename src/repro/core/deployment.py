@@ -202,7 +202,7 @@ class MatrixDeployment:
             name=ms_name,
             game_server=gs_name,
             config=self.config,
-            fabric=self,
+            fabric=self._fabric_for(ms_name),
             partition=partition,
             parent=parent,
             host_id=host_id,
@@ -220,6 +220,14 @@ class MatrixDeployment:
         for hook in self.pair_created_hooks:
             hook(matrix_server)
         return matrix_server, game_server
+
+    def _fabric_for(self, ms_name: str):
+        """The :class:`~repro.core.runtime.fabric.Fabric` a new server
+        talks to.  The classic deployment hands out itself (direct
+        calls); the sharded deployment overrides this with a per-server
+        message-passing proxy so fabric requests cross lanes as
+        ordinary network traffic."""
+        return self
 
     # ------------------------------------------------------------------
     # Fabric services (called by Matrix servers)

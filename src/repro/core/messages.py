@@ -12,6 +12,9 @@ dotted scheme:
 * ``matrix.ctl.*``      — split/reclaim control handshakes
 * ``mc.*``              — anything to/from the Matrix Coordinator
 * ``gs.*``              — Matrix server → game server directives
+* ``fabric.*``          — Matrix server ↔ deployment fabric (sharded
+  runs route host grants and pair spawns over these instead of calling
+  the deployment object directly, keeping control state lane-local)
 """
 
 from __future__ import annotations
@@ -231,3 +234,58 @@ class DeliverPacket:
     """Matrix server → game server: a packet from a peer's region."""
 
     packet: SpatialPacket
+
+
+# ----------------------------------------------------------------------
+# Fabric control plane (sharded deployments)
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class FabricAcquire:
+    """Matrix server → fabric: request one host from the pool."""
+
+    requester: str
+
+
+@dataclass(slots=True)
+class FabricGrant:
+    """Fabric → Matrix server: the pool's answer (None = exhausted)."""
+
+    host_id: str | None
+
+
+@dataclass(slots=True)
+class FabricSpawn:
+    """Matrix server → fabric: boot a child pair on a granted host."""
+
+    host_id: str
+    partition: Rect
+    parent: str
+
+
+@dataclass(slots=True)
+class FabricSpawned:
+    """Fabric → Matrix server: the child pair is up and bound."""
+
+    child_ms: str
+    child_gs: str
+
+
+@dataclass(slots=True)
+class FabricRelease:
+    """Matrix server → fabric: return an unused host grant."""
+
+    host_id: str
+
+
+@dataclass(slots=True)
+class FabricDecommission:
+    """Matrix server → fabric: retire a reclaimed child pair.
+
+    ``host_id=None`` frees whatever host the pair currently holds
+    (cancelled-split cleanup — see ``MatrixDeployment.decommission_pair``).
+    """
+
+    matrix_name: str
+    host_id: str | None

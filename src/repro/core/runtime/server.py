@@ -311,3 +311,14 @@ class MatrixServer(Node):
     @handles("matrix.state.done")
     def _on_state_done(self, message: Message) -> None:
         self.transfer.on_done(message)
+
+    # Fabric replies (sharded runs only: the message-passing fabric
+    # proxy answers acquire/spawn requests over the wire; the classic
+    # deployment calls back directly and never sends these kinds).
+    @handles("fabric.grant")
+    def _on_fabric_grant(self, message: Message) -> None:
+        self.ctx.fabric.deliver_grant(message.payload)
+
+    @handles("fabric.spawned")
+    def _on_fabric_spawned(self, message: Message) -> None:
+        self.ctx.fabric.deliver_spawned(message.payload)

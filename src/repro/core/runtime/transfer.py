@@ -38,7 +38,10 @@ class StateTransfer:
     def __init__(self, ctx: ServerContext) -> None:
         self._ctx = ctx
         self._outgoing: dict[int, str] = {}  # transfer id -> context
-        self._incoming: dict[int, _IncomingTransfer] = {}
+        # Keyed by (sender, transfer id): transfer ids are only unique
+        # per sending process, and under the process shard executor two
+        # lanes' senders draw from independent counters.
+        self._incoming: dict[tuple[str, int], _IncomingTransfer] = {}
         #: Completion callbacks keyed by transfer context ("split", ...).
         self._completions: dict[str, Callable[[], None]] = {}
 
@@ -110,37 +113,39 @@ class StateTransfer:
     # ------------------------------------------------------------------
     def on_begin(self, message: Message) -> None:
         begin: StateBegin = message.payload
+        key = (message.src, begin.transfer_id)
         # A transfer record may already exist with buffered chunks.
-        transfer = self._incoming.get(begin.transfer_id)
+        transfer = self._incoming.get(key)
         if transfer is None:
             transfer = _IncomingTransfer(
                 sender=message.src, total_chunks=0, received=0, context=""
             )
-            self._incoming[begin.transfer_id] = transfer
+            self._incoming[key] = transfer
         transfer.sender = message.src
         transfer.total_chunks = begin.total_chunks
         transfer.context = begin.context
-        self._maybe_complete(begin.transfer_id)
+        self._maybe_complete(key)
 
     def on_chunk(self, message: Message) -> None:
         chunk: StateChunk = message.payload
-        transfer = self._incoming.get(chunk.transfer_id)
+        key = (message.src, chunk.transfer_id)
+        transfer = self._incoming.get(key)
         if transfer is None:
             # Chunk overtook its StateBegin: buffer the count.
             transfer = _IncomingTransfer(
                 sender=message.src, total_chunks=0, received=0, context=""
             )
-            self._incoming[chunk.transfer_id] = transfer
+            self._incoming[key] = transfer
         transfer.received += 1
-        self._maybe_complete(chunk.transfer_id)
+        self._maybe_complete(key)
 
-    def _maybe_complete(self, transfer_id: int) -> None:
-        transfer = self._incoming.get(transfer_id)
+    def _maybe_complete(self, key: tuple[str, int]) -> None:
+        transfer = self._incoming.get(key)
         if transfer is None or transfer.total_chunks <= 0:
             return
         if transfer.received < transfer.total_chunks:
             return
-        del self._incoming[transfer_id]
+        del self._incoming[key]
         self._ctx.control_send(
-            transfer.sender, "matrix.state.done", StateDone(transfer_id=transfer_id)
+            transfer.sender, "matrix.state.done", StateDone(transfer_id=key[1])
         )

@@ -36,8 +36,23 @@ from repro.workload.scenarios.spec import (
     ServerCrash,
 )
 
-#: Mobility kinds safe to sample for arrival waves (parameter-free).
-_ARRIVAL_MOBILITY = (None, "random_waypoint", "stationary", "teleport")
+#: Mobility kinds safe to sample for any spawn phase.  ``None`` keeps
+#: the fleet default (random waypoint); parameterized kinds draw their
+#: knobs from the ``fuzz.<profile>`` stream in a fixed order.
+_ARRIVAL_MOBILITY = (
+    None,
+    "random_waypoint",
+    "stationary",
+    "teleport",
+    "commuter",
+    "flock",
+    "pursuit",
+)
+
+#: Extra kinds available only to waves with a placement centre: the
+#: hotspot model resolves its loiter centre/spread from where the
+#: group lands, so it needs Gaussian placement to anchor to.
+_PLACED_MOBILITY = _ARRIVAL_MOBILITY + ("hotspot",)
 
 #: Victim-selection rules ``ServerCrash`` accepts.
 _CRASH_VICTIMS = ("youngest", "oldest", "busiest", "splitting")
@@ -104,11 +119,31 @@ def _map_point(rng) -> MapPoint:
     )
 
 
-def _arrival_mobility(rng) -> MobilitySpec | None:
-    kind = rng.choice(_ARRIVAL_MOBILITY)
+def _arrival_mobility(rng, *, placed: bool = False) -> MobilitySpec | None:
+    """Sample a mobility model, drawing its knobs from the same stream.
+
+    ``placed`` widens the pool to models that anchor to the wave's
+    placement centre (hotspot).  Parameters are drawn unconditionally
+    per kind, in a fixed order, so the stream advances identically
+    whatever earlier draws produced.
+    """
+    kind = rng.choice(_PLACED_MOBILITY if placed else _ARRIVAL_MOBILITY)
     if kind is None:
         return None
-    return MobilitySpec(kind=kind)
+    params: dict[str, object] = {}
+    if kind == "teleport":
+        params["portal_chance"] = round(rng.uniform(0.05, 0.4), 3)
+    elif kind == "commuter":
+        params["stops"] = rng.randint(2, 5)
+        params["pause"] = round(rng.uniform(1.0, 6.0), 1)
+    elif kind == "flock":
+        params["anchor_speed_fraction"] = round(rng.uniform(0.4, 0.8), 2)
+        params["spacing"] = round(rng.uniform(8.0, 20.0), 1)
+    elif kind == "pursuit":
+        params["quarry_speed_fraction"] = round(rng.uniform(0.5, 0.9), 2)
+    # "hotspot" takes no explicit params: its centre/spread resolve
+    # from the wave's Gaussian placement at install time.
+    return MobilitySpec(kind=kind, params=params)
 
 
 def generate_scenario(
@@ -175,7 +210,9 @@ def generate_scenario(
                     count=count,
                     at=at,
                     group=group,
-                    mobility=_arrival_mobility(rng),
+                    mobility=_arrival_mobility(
+                        rng, placed=center is not None
+                    ),
                     over=round(rng.choice((0.0, 2.0, 5.0)), 1),
                     center=center,
                 )
@@ -213,6 +250,7 @@ def generate_scenario(
                     stop=stop,
                     group=f"churn{index}",
                     session=round(rng.uniform(10.0, 40.0), 1),
+                    mobility=_arrival_mobility(rng),
                 )
             )
         elif kind == "migration":

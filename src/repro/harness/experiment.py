@@ -128,11 +128,7 @@ class MatrixExperiment:
         self.perf = self.config.perf.build_registry()
         self.sim = self._build_sim()
         self.network = self._build_network()
-        self.deployment = MatrixDeployment(
-            self.sim,
-            self.network,
-            self.config,
-            game_server_factory=self._make_game_server,
+        self.deployment = self._build_deployment(
             pool_capacity=pool_capacity,
             replicated_mc=replicated_mc,
             mc_failover_timeout=mc_failover_timeout,
@@ -163,6 +159,15 @@ class MatrixExperiment:
     def _build_network(self) -> Network:
         return Network(
             self.sim, rng=self.rng.stream("network"), perf=self.perf
+        )
+
+    def _build_deployment(self, **kwargs) -> MatrixDeployment:
+        return MatrixDeployment(
+            self.sim,
+            self.network,
+            self.config,
+            game_server_factory=self._make_game_server,
+            **kwargs,
         )
 
     def fault_nodes(self) -> list:

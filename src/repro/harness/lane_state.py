@@ -1,0 +1,257 @@
+"""Lane-state provider for process-parallel Matrix runs.
+
+Under the process shard executor every lane lives in a forked worker
+that replicates the global lane but only *executes* its own lane's
+events (see :mod:`repro.sim.sharded`).  Global-lane code — the fleet,
+the fabric node, the samplers — still reads a handful of values that
+lane handlers mutate: a Matrix server's partition and life flags, a
+game server's client count and queue depth, a client's ``active`` bit.
+
+:class:`MatrixLaneState` is the engine lane hook that keeps those reads
+coherent:
+
+* :meth:`collect` (worker side, after each lane window) — a
+  changed-only delta of the lane's externally read values;
+* :meth:`apply` (every replica, before the global window) — installs
+  the merged deltas, *skipping* the replica's own live lane so owner
+  state is never masked by a stale copy;
+* :meth:`gather` / :meth:`overlay` (end of run) — the full per-lane
+  read-out (traffic counters live in the network's own hook; this one
+  carries server stats, client latencies and chaos stage counters) so
+  the master assembles results identical to a serial run.
+
+Game-server client counts and queue lengths are *properties* computed
+from live containers, so foreign copies cannot be assigned directly;
+``GameServer`` and ``ReceiveQueue`` expose nullable view overrides
+(``_client_count_view`` / ``_length_view``) this hook fills in.
+"""
+
+from __future__ import annotations
+
+#: ServerStats fields shipped verbatim (order matters: gather tuples).
+_STATS_FIELDS = (
+    "radius_fallbacks",
+    "forwarded_packets",
+    "delivered_packets",
+    "stale_forwards",
+    "misrouted_packets",
+    "local_only_packets",
+    "failed_splits",
+    "failed_reclaims",
+    "splits_completed",
+    "reclaims_completed",
+)
+
+#: GameServer counters shipped at gather time.
+_GS_COUNTERS = (
+    "updates_processed",
+    "actions_processed",
+    "remote_updates_seen",
+    "remote_actions_seen",
+    "snapshots_sent",
+    "switches_initiated",
+)
+
+#: GameClient counters shipped at gather time.
+_CLIENT_COUNTERS = (
+    "updates_sent",
+    "actions_sent",
+    "snapshots_received",
+    "switches_completed",
+    "rejoins",
+)
+
+
+class MatrixLaneState:
+    """Collect/apply/gather Matrix deployment state per lane."""
+
+    def __init__(self, experiment) -> None:
+        self._experiment = experiment
+        #: Last delta values sent per node name (worker-side memo so
+        #: each window ships only what changed).
+        self._sent: dict[str, tuple] = {}
+        self._client_index: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _lane_of(self, name: str) -> int | None:
+        return self._experiment.network.lane_of(name)
+
+    def _client_named(self, name: str):
+        client = self._client_index.get(name)
+        if client is None or client.name != name:
+            self._client_index = {
+                c.name: c for c in self._experiment.fleet.clients
+            }
+            client = self._client_index.get(name)
+        return client
+
+    def _chaos_stages(self):
+        chaos = getattr(self._experiment, "chaos", None)
+        if chaos is None:
+            return {}
+        return getattr(chaos, "_stages", {})
+
+    # ------------------------------------------------------------------
+    # Per-window deltas
+    # ------------------------------------------------------------------
+    def take_outbox(self, slot: int) -> None:
+        return None  # state ships as deltas; the network owns outboxes
+
+    def stage(self, bundle) -> None:
+        pass
+
+    def collect(self, slot: int) -> dict | None:
+        experiment = self._experiment
+        sent = self._sent
+        ms_delta: dict[str, tuple] = {}
+        gs_delta: dict[str, tuple] = {}
+        client_delta: dict[str, bool] = {}
+        for name, server in experiment.deployment.matrix_servers.items():
+            if self._lane_of(name) != slot:
+                continue
+            ctx = server.ctx
+            value = (ctx.partition, ctx.dying, ctx.busy, ctx.client_count)
+            if sent.get(name) != value:
+                sent[name] = value
+                ms_delta[name] = value
+        for name, handle in experiment.deployment.game_servers.items():
+            if self._lane_of(name) != slot:
+                continue
+            value = (handle.client_count, handle.inbox.length)
+            if sent.get(name) != value:
+                sent[name] = value
+                gs_delta[name] = value
+        for client in experiment.fleet.clients:
+            if self._lane_of(client.name) != slot:
+                continue
+            value = (client.active,)
+            if sent.get(client.name) != value:
+                sent[client.name] = value
+                client_delta[client.name] = client.active
+        if not (ms_delta or gs_delta or client_delta):
+            return None
+        return {"ms": ms_delta, "gs": gs_delta, "client": client_delta}
+
+    def apply(self, pairs, skip_slot: int | None) -> None:
+        experiment = self._experiment
+        deployment = experiment.deployment
+        for slot, delta in pairs:
+            if slot == skip_slot or delta is None:
+                continue
+            for name, value in delta["ms"].items():
+                server = deployment.matrix_servers.get(name)
+                if server is None:
+                    continue
+                ctx = server.ctx
+                ctx.partition, ctx.dying, ctx.busy, ctx.client_count = value
+            for name, value in delta["gs"].items():
+                handle = deployment.game_servers.get(name)
+                if handle is None:
+                    continue
+                handle._client_count_view = value[0]
+                handle.inbox._length_view = value[1]
+            for name, active in delta["client"].items():
+                client = self._client_named(name)
+                if client is not None:
+                    client.active = active
+
+    # ------------------------------------------------------------------
+    # End-of-run gather
+    # ------------------------------------------------------------------
+    def gather(self, slot: int) -> dict | None:
+        experiment = self._experiment
+        deployment = experiment.deployment
+        payload: dict = {"ms": {}, "gs": {}, "client": {}, "chaos": {}}
+        for name, server in deployment.matrix_servers.items():
+            if self._lane_of(name) != slot:
+                continue
+            ctx = server.ctx
+            payload["ms"][name] = (
+                tuple(getattr(ctx.stats, f) for f in _STATS_FIELDS),
+                ctx.partition,
+                ctx.dying,
+                ctx.busy,
+                ctx.client_count,
+                server.lifecycle.in_flight_host,
+                server.lifecycle.in_flight_child,
+            )
+        for name, handle in deployment.game_servers.items():
+            if self._lane_of(name) != slot:
+                continue
+            inbox = handle.inbox
+            payload["gs"][name] = (
+                handle.client_count,
+                inbox.length,
+                tuple(getattr(handle, f, 0) for f in _GS_COUNTERS),
+                (
+                    inbox.serviced_count,
+                    inbox.dropped_count,
+                    inbox.busy_time,
+                    inbox.peak_length,
+                ),
+            )
+        for client in experiment.fleet.clients:
+            if self._lane_of(client.name) != slot:
+                continue
+            payload["client"][client.name] = (
+                client.active,
+                tuple(getattr(client, f) for f in _CLIENT_COUNTERS),
+                list(client.action_latencies),
+                list(client.switch_latencies),
+            )
+        for name, stage in self._chaos_stages().items():
+            if self._lane_of(name) != slot:
+                continue
+            payload["chaos"][name] = (stage.dropped, stage.duplicated)
+        return payload
+
+    def overlay(self, slot: int, payload: dict) -> None:
+        experiment = self._experiment
+        deployment = experiment.deployment
+        for name, value in payload["ms"].items():
+            server = deployment.matrix_servers.get(name)
+            if server is None:
+                continue
+            stats_values, partition, dying, busy, count, host, child = value
+            ctx = server.ctx
+            for field, stat in zip(_STATS_FIELDS, stats_values):
+                setattr(ctx.stats, field, stat)
+            ctx.partition = partition
+            ctx.dying = dying
+            ctx.busy = busy
+            ctx.client_count = count
+            server.lifecycle._pending_host = host
+            server.lifecycle._pending_child = child
+        for name, value in payload["gs"].items():
+            handle = deployment.game_servers.get(name)
+            if handle is None:
+                continue
+            count, length, counters, inbox_counters = value
+            handle._client_count_view = count
+            for field, counter in zip(_GS_COUNTERS, counters):
+                if hasattr(handle, field):
+                    setattr(handle, field, counter)
+            inbox = handle.inbox
+            inbox._length_view = length
+            inbox.serviced_count = inbox_counters[0]
+            inbox.dropped_count = inbox_counters[1]
+            inbox.busy_time = inbox_counters[2]
+            inbox._peak_length = inbox_counters[3]
+        for name, value in payload["client"].items():
+            client = self._client_named(name)
+            if client is None:
+                continue
+            active, counters, action_latencies, switch_latencies = value
+            client.active = active
+            for field, counter in zip(_CLIENT_COUNTERS, counters):
+                setattr(client, field, counter)
+            client.action_latencies[:] = action_latencies
+            client.switch_latencies[:] = switch_latencies
+        stages = self._chaos_stages()
+        for name, (dropped, duplicated) in payload["chaos"].items():
+            stage = stages.get(name)
+            if stage is not None:
+                stage.dropped = dropped
+                stage.duplicated = duplicated

@@ -25,6 +25,7 @@ from repro.harness.experiment import ExperimentResult, MatrixExperiment
 from repro.workload.scenarios import (
     CoordinatorCrash,
     Scenario,
+    ServerCrash,
     build_scenario,
 )
 
@@ -166,11 +167,20 @@ def _run_matrix(
     if replicated_mc is None:
         replicated_mc = _wants_standby_mc(scenario, chaos)
     if shards is not None and chaos is not None:
-        raise ValueError(
-            "sharded runs do not support chaos scenarios: fault "
-            "injection mutates foreign shards mid-window; run with "
-            "shards=None or chaos=False"
-        )
+        faults = (*scenario.fault_phases(), *chaos.extra_faults)
+        crash = [
+            type(fault).__name__
+            for fault in faults
+            if isinstance(fault, (ServerCrash, CoordinatorCrash))
+        ]
+        if crash:
+            raise ValueError(
+                "sharded runs do not support crash chaos faults "
+                f"({', '.join(sorted(set(crash)))}): crashing a pair "
+                "mutates foreign shards mid-window; run crash scenarios "
+                "with shards=None or chaos=False.  LinkDegrade/Recovery "
+                "chaos works on sharded runs."
+            )
     if shards is None:
         experiment = MatrixExperiment(
             profile,

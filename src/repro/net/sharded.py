@@ -86,6 +86,9 @@ class ShardedNetwork(Network):
         self._node_lane: dict[str, int] = {}
         self._outboxes: list[list] = [[] for _ in range(slots)]
         self._outbox_seq = [0] * slots
+        #: Outbox bundles shipped from other processes, merged with the
+        #: local drains at the next barrier (process executor only).
+        self._staged: list[tuple[int, list]] = []
         self._pending_removals: list[list[str]] = [[] for _ in range(slots)]
         super().__init__(engine, default_profile=default_profile, perf=perf)
         # The base class's per-message perf hooks assume one thread of
@@ -95,6 +98,7 @@ class ShardedNetwork(Network):
         self._perf_delivered = None
         self._perf_profile_miss = None
         engine.add_barrier_hook(self._on_barrier)
+        engine.register_lane_hooks(self)
 
     # ------------------------------------------------------------------
     # Lane plumbing
@@ -287,13 +291,21 @@ class ShardedNetwork(Network):
 
     def _on_barrier(self, horizon: float) -> None:
         transfers: list[tuple[float, int, int, int, Message]] = []
+        staged = self._staged
+        if staged:
+            self._staged = []
+            for slot, entries in staged:
+                for arrival, seq, dst_slot, message in entries:
+                    transfers.append((arrival, seq, slot, dst_slot, message))
         for slot, outbox in enumerate(self._outboxes):
             if outbox:
                 self._outboxes[slot] = []
                 for arrival, seq, dst_slot, message in outbox:
                     transfers.append((arrival, seq, slot, dst_slot, message))
         if transfers:
-            # Canonical (time, seq, shard) injection order.
+            # Canonical (time, seq, shard) injection order — staged and
+            # locally drained entries form the same multiset in every
+            # replica, so the merged order is identical everywhere.
             transfers.sort(key=lambda entry: entry[:3])
             for arrival, _seq, _src, dst_slot, message in transfers:
                 if arrival < horizon:
@@ -302,9 +314,58 @@ class ShardedNetwork(Network):
                         f"t={arrival} inside the lookahead window (barrier "
                         f"{horizon}); is a profile's minimum() overstated?"
                     )
-                self._lane_sim(dst_slot).at(arrival, self._deliver, arg=message)
+                sim = self._lane_sim(dst_slot)
+                if self._engine._lane_live(sim):
+                    sim.at(arrival, self._deliver, arg=message)
         for slot, pending in enumerate(self._pending_removals):
             if pending:
                 self._pending_removals[slot] = []
                 for name in pending:
                     self._nodes.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Lane hook (process executor): ship outboxes, gather lane slots
+    # ------------------------------------------------------------------
+    def take_outbox(self, slot: int) -> tuple[int, list] | None:
+        """Remove and return lane *slot*'s pending cross-lane traffic.
+
+        Only lane-produced outboxes ever ship: the global slot's outbox
+        is filled by replicated global execution, identically in every
+        process, and drains locally.
+        """
+        outbox = self._outboxes[slot]
+        if not outbox:
+            return None
+        self._outboxes[slot] = []
+        return (slot, outbox)
+
+    def stage(self, bundle: tuple[int, list] | None) -> None:
+        if bundle is not None:
+            self._staged.append(bundle)
+
+    def collect(self, slot: int) -> None:
+        return None  # traffic needs no per-window deltas, only gathers
+
+    def apply(self, pairs, skip_slot) -> None:
+        pass
+
+    def gather(self, slot: int) -> tuple:
+        """Lane *slot*'s accounting slots, for the master to overlay."""
+        return (
+            self._lane_stats[slot],
+            self._lane_delivered[slot],
+            self._lane_undeliverable[slot],
+            list(self._lane_cross[slot]),
+            list(self._lane_sent[slot]),
+            list(self._lane_received[slot]),
+        )
+
+    def overlay(self, slot: int, payload: tuple) -> None:
+        (
+            self._lane_stats[slot],
+            self._lane_delivered[slot],
+            self._lane_undeliverable[slot],
+            self._lane_cross[slot],
+            self._lane_sent[slot],
+            self._lane_received[slot],
+        ) = payload

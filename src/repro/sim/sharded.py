@@ -31,17 +31,33 @@ byte-identical whatever ``shards`` and whatever executor — the sharded
 engine at ``shards=1`` is the reference, and the tests compare it
 against ``shards=2/4`` on full scenario runs.
 
+Three executors drive the lane windows.  ``serial`` and ``thread``
+share one address space.  ``process`` forks one worker per lane
+(SPMD replication): every worker carries a full copy of the object
+graph, *executes* only its own lane plus a replica of the global
+(control) lane, and exchanges three things with the master per window
+— cross-lane message outboxes, changed-state deltas of the values
+global code reads, and end-of-run gathers — through registered **lane
+hooks** (see :meth:`ShardedSimulator.register_lane_hooks`).  Because
+the global lane's execution is replicated bit-for-bit in every worker
+(same fork image, same injected messages in the same canonical order),
+no shared memory is needed and results stay byte-identical to the
+serial executor.
+
 The module also provides :func:`run_sharded_workload`: the same
 conservative protocol for *detached* shard workloads (pure
-message-passing between per-shard builders) which — unlike the Matrix
-deployment, whose coordinator/pool/fleet state is process-shared — can
-run under a ``spawn`` **process** executor, one interpreter per shard.
+message-passing between per-shard builders) under a ``spawn`` process
+executor — the lighter-weight path when the workload has no shared
+control plane at all.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import threading
 import time as _time
+import traceback as _traceback
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.sim.events import DEFAULT_PRIORITY, NO_ARG, Event
@@ -55,6 +71,7 @@ __all__ = [
     "GLOBAL_LANE",
     "LaneSimulator",
     "ShardContext",
+    "ShardWorkerError",
     "ShardedSimulator",
     "run_sharded_workload",
 ]
@@ -62,10 +79,27 @@ __all__ = [
 #: Lane index of the global (control) lane in engine bookkeeping.
 GLOBAL_LANE = "global"
 
-#: Executors the in-process engine supports.  ``process`` is only
-#: available through :func:`run_sharded_workload` (detached shards);
-#: the engine's lanes share the deployment's in-process state.
-ENGINE_EXECUTORS = ("serial", "thread")
+#: Executors the engine supports.  ``process`` forks one worker per
+#: lane (SPMD global-lane replication; needs registered lane hooks to
+#: ship cross-lane state — the sharded network registers itself).
+ENGINE_EXECUTORS = ("serial", "thread", "process")
+
+
+class ShardWorkerError(RuntimeError):
+    """A lane worker failed under the process executor.
+
+    Carries the lane index and the worker-side traceback text, so a
+    crash one process away reads like a local one (mirrors
+    :class:`repro.harness.parallel.GridTaskError`).
+    """
+
+    def __init__(self, lane: int, worker_traceback: str) -> None:
+        self.lane = lane
+        self.worker_traceback = worker_traceback
+        super().__init__(
+            f"shard lane {lane} worker failed\n"
+            f"--- worker traceback ---\n{worker_traceback}"
+        )
 
 
 class LaneSimulator(Simulator):
@@ -169,8 +203,7 @@ class ShardedSimulator:
         if executor not in ENGINE_EXECUTORS:
             raise SimulationError(
                 f"unknown shard executor {executor!r}; engine executors: "
-                f"{ENGINE_EXECUTORS} (the process executor runs detached "
-                f"workloads only — see run_sharded_workload)"
+                f"{ENGINE_EXECUTORS}"
             )
         self.shard_count = shards
         self.lookahead = lookahead
@@ -184,16 +217,34 @@ class ShardedSimulator:
         self._running = False
         self._stopped = False
         self._barrier_hooks: list[Callable[[float], None]] = []
+        #: Providers of cross-process lane state (outboxes, deltas,
+        #: gathers); see :meth:`register_lane_hooks`.
+        self.lane_hooks: list[Any] = []
+        #: Lane indices whose heaps are live in *this* process.  None
+        #: means all of them (serial/thread); under the process
+        #: executor the master owns none and each worker owns one.
+        #: The global lane is live everywhere.
+        self._live_lane_indices: frozenset | None = None
         self.windows_run = 0
         self._perf = perf
         if perf is not None:
             self._perf_windows = perf.counter("shard.windows")
             self._perf_wait = perf.timer("shard.barrier_wait")
+            self._perf_span = perf.counter("shard.window_span")
+            self._perf_lane_wall = perf.timer("shard.lane_wall")
+            self._perf_ipc = perf.counter("shard.ipc_bytes")
         else:
             self._perf_windows = None
             self._perf_wait = None
-        if executor == "thread":
-            self._executor: _SerialLanes | _ThreadLanes = _ThreadLanes(self)
+            self._perf_span = None
+            self._perf_lane_wall = None
+            self._perf_ipc = None
+        if executor == "process":
+            self._executor: _SerialLanes | _ThreadLanes | _ProcessLanes = (
+                _ProcessLanes(self)
+            )
+        elif executor == "thread":
+            self._executor = _ThreadLanes(self)
         else:
             self._executor = _SerialLanes(self)
 
@@ -240,6 +291,44 @@ class ShardedSimulator:
         lane executes (the sharded network's outbox flush)."""
         self._barrier_hooks.append(hook)
 
+    def register_lane_hooks(self, hook: Any) -> None:
+        """Register a provider of per-lane state for the process executor.
+
+        A lane hook ships a lane's externally visible effects between
+        the forked workers and the master.  Six methods, all invoked
+        with a lane *slot* (``0..shards-1``):
+
+        * ``take_outbox(slot)`` → picklable bundle of the lane's
+          pending cross-lane traffic, removed locally (or None);
+        * ``stage(bundle)`` — queue a shipped bundle for the next
+          barrier, on every replica;
+        * ``collect(slot)`` → changed-state delta of the values global
+          code reads (or None);
+        * ``apply(pairs, skip_slot)`` — install merged
+          ``(slot, delta)`` pairs, skipping the replica's own live
+          lane (``skip_slot=None`` applies everything);
+        * ``gather(slot)`` → the lane's full end-of-run read-out;
+        * ``overlay(slot, payload)`` — replace the master's copy of
+          that lane's state with a gathered payload.
+
+        Hooks must be registered *before* the first :meth:`run` — the
+        process executor forks on first run and the hook list must be
+        identical in every replica.  Serial and thread executors ignore
+        the hooks entirely.
+        """
+        self.lane_hooks.append(hook)
+
+    def _lane_live(self, lane: "LaneSimulator") -> bool:
+        """Whether *lane*'s heap is executed by this process.
+
+        Under the process executor the master skips pushes into lane
+        heaps it never drains (and each worker skips its siblings'),
+        so replicated injection does not leak memory into heaps that
+        exist only as fork artifacts.
+        """
+        live = self._live_lane_indices
+        return live is None or lane is self._global or lane.index in live
+
     def at(self, time, callback, priority=DEFAULT_PRIORITY, label="", arg=NO_ARG):
         return self._context_sim().at(
             time, callback, priority=priority, label=label, arg=arg
@@ -285,6 +374,7 @@ class ShardedSimulator:
         try:
             self._executor.start()
             self._loop(until)
+            self._executor.collect()
         finally:
             self._executor.shutdown()
             self._set_active(None)
@@ -292,13 +382,12 @@ class ShardedSimulator:
 
     def _loop(self, until: float | None) -> None:
         lookahead = self.lookahead
-        lanes = self._lanes
         glob = self._global
+        executor = self._executor
         while not self._stopped:
-            self._inject()
+            peeks = executor.begin_round()
             next_lane = None
-            for lane in lanes:
-                t = lane._queue.peek_time()
+            for t in peeks:
                 if t is not None and (next_lane is None or t < next_lane):
                     next_lane = t
             next_global = glob._queue.peek_time()
@@ -318,11 +407,18 @@ class ShardedSimulator:
                 self.windows_run += 1
                 if self._perf_windows is not None:
                     self._perf_windows.inc()
-                self._executor.run_window(barrier)
+                if self._perf_span is not None:
+                    # Sim-time span per window: value accumulates the
+                    # total span, count the number of windows.
+                    self._perf_span.add(barrier - self._barrier_time)
+                executor.run_window(barrier)
                 self._barrier_time = barrier
             if self._stopped:
                 break
             # Global (control) events at exactly the barrier instant.
+            # The process executor first replays every lane's deltas
+            # (here and in every worker's replica, identically).
+            executor.before_global(barrier)
             self._set_active(glob)
             glob.run_window(barrier, inclusive=True)
             self._set_active(None)
@@ -330,11 +426,7 @@ class ShardedSimulator:
                 # Lane events scheduled exactly at the horizon still
                 # execute — matching the classic kernel's inclusive
                 # run(until) — after the barrier's control work.
-                self._inject()
-                for lane in lanes:
-                    self._set_active(lane)
-                    lane.run_window(until, inclusive=True)
-                self._set_active(None)
+                executor.finish(until)
                 break
 
     def _inject(self) -> None:
@@ -367,7 +459,8 @@ class ShardedSimulator:
                         f"delays must be >= the lookahead "
                         f"({self.lookahead})"
                     )
-                target._queue.push_existing(event)
+                if self._lane_live(target):
+                    target._queue.push_existing(event)
         for hook in self._barrier_hooks:
             hook(horizon)
 
@@ -384,12 +477,38 @@ class _SerialLanes:
     def shutdown(self) -> None:
         pass
 
+    def begin_round(self) -> list[float | None]:
+        engine = self._engine
+        engine._inject()
+        return [lane._queue.peek_time() for lane in engine._lanes]
+
     def run_window(self, barrier: float) -> None:
         engine = self._engine
+        wall = engine._perf_lane_wall
+        clock = _time.perf_counter
         for lane in engine._lanes:
             engine._set_active(lane)
-            lane.run_window(barrier)
+            if wall is not None:
+                started = clock()
+                lane.run_window(barrier)
+                wall.record(clock() - started)
+            else:
+                lane.run_window(barrier)
         engine._set_active(None)
+
+    def before_global(self, barrier: float) -> None:
+        pass
+
+    def finish(self, until: float) -> None:
+        engine = self._engine
+        engine._inject()
+        for lane in engine._lanes:
+            engine._set_active(lane)
+            lane.run_window(until, inclusive=True)
+        engine._set_active(None)
+
+    def collect(self) -> None:
+        pass
 
 
 class _ThreadLanes:
@@ -426,6 +545,7 @@ class _ThreadLanes:
         engine = self._engine
         engine._set_active(lane)
         wait_timer = engine._perf_wait
+        wall_timer = engine._perf_lane_wall
         clock = _time.perf_counter
         while True:
             try:
@@ -434,17 +554,28 @@ class _ThreadLanes:
                 return
             if self._closing:
                 return
+            started = clock()
             try:
                 lane.run_window(self._barrier)
             except BaseException as error:  # surfaced by run_window()
                 self._errors.append(error)
             arrived = clock()
+            if wall_timer is not None:
+                # Benign data race (like shard.barrier_wait): wall
+                # timers are diagnostics, never part of the gated
+                # deterministic output.
+                wall_timer.record(arrived - started)
             try:
                 self._done_gate.wait()
             except threading.BrokenBarrierError:
                 return
             if wait_timer is not None:
                 wait_timer.record(clock() - arrived)
+
+    def begin_round(self) -> list[float | None]:
+        engine = self._engine
+        engine._inject()
+        return [lane._queue.peek_time() for lane in engine._lanes]
 
     def run_window(self, barrier: float) -> None:
         self._barrier = barrier
@@ -455,6 +586,22 @@ class _ThreadLanes:
             self._errors = []
             raise error
 
+    def before_global(self, barrier: float) -> None:
+        pass
+
+    def finish(self, until: float) -> None:
+        # The final inclusive drains run on the master thread: they are
+        # a one-shot tail, not worth a barrier round-trip.
+        engine = self._engine
+        engine._inject()
+        for lane in engine._lanes:
+            engine._set_active(lane)
+            lane.run_window(until, inclusive=True)
+        engine._set_active(None)
+
+    def collect(self) -> None:
+        pass
+
     def shutdown(self) -> None:
         self._closing = True
         self._start_gate.abort()
@@ -464,8 +611,406 @@ class _ThreadLanes:
         self._threads = []
 
 
+def _pipe_send(conn, payload: Any, counter=None) -> None:
+    """Pickle *payload* once and ship the bytes (counted when asked)."""
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if counter is not None:
+        counter.add(len(data))
+    conn.send_bytes(data)
+
+
+def _pipe_recv(conn, counter=None) -> Any:
+    data = conn.recv_bytes()
+    if counter is not None:
+        counter.add(len(data))
+    return pickle.loads(data)
+
+
+def _stage_bundles(engine: ShardedSimulator, transfers: list) -> None:
+    """Hand shipped per-hook bundle lists to their hooks for staging."""
+    for hook, bundles in zip(engine.lane_hooks, transfers):
+        for bundle in bundles:
+            hook.stage(bundle)
+
+
+#: Counters bumped only by the master's orchestration loop, never by
+#: replicated global-lane or lane code.  Workers hold their fork-time
+#: values forever, so shipping them would make the contribution-
+#: subtraction merge in :meth:`_ProcessLanes._merge_perf` subtract the
+#: master's bumps once per worker.
+_ORCHESTRATOR_COUNTERS = frozenset(
+    ("shard.windows", "shard.window_span", "shard.ipc_bytes")
+)
+
+
+def _lane_worker_main(engine: ShardedSimulator, index: int, conn) -> None:
+    """Forked lane worker: execute lane *index* live, replicate global.
+
+    The worker inherits the master's whole object graph at fork time
+    and then follows the master's command stream:
+
+    * ``sync`` — stage shipped bundles, run barrier injection, report
+      the lane's next event time (the master's barrier math uses only
+      these worker-reported peeks);
+    * ``window`` — drain the lane strictly before the barrier, return
+      its outbox bundles, state deltas and wall time;
+    * ``global`` — apply the merged deltas (skipping the own, live
+      lane) and run the global-lane replica; no reply, the master runs
+      its own replica concurrently;
+    * ``final`` — the end-of-run inclusive drain (same reply shape as
+      ``window``);
+    * ``apply`` / ``gather`` / ``close`` — final delta application,
+      end-of-run state read-out, teardown.
+
+    Any exception is wrapped as an ``("error", traceback)`` reply; the
+    master raises it as :class:`ShardWorkerError`.
+    """
+    # Worker-side hashing must match the master's (string hashing only
+    # affects dict iteration order, but that order is observable via
+    # defaultdict building in gathered payloads).
+    os.environ.setdefault("PYTHONHASHSEED", "0")
+    lane = engine._lanes[index]
+    glob = engine._global
+    engine._live_lane_indices = frozenset((index,))
+    hooks = engine.lane_hooks
+    clock = _time.perf_counter
+    try:
+        while True:
+            command = _pipe_recv(conn)
+            op = command[0]
+            if op == "sync":
+                _stage_bundles(engine, command[1])
+                engine._inject()
+                _pipe_send(conn, ("peek", lane._queue.peek_time()))
+            elif op == "window" or op == "final":
+                barrier = command[1]
+                if op == "final":
+                    _stage_bundles(engine, command[2])
+                    engine._inject()
+                started = clock()
+                engine._set_active(lane)
+                lane.run_window(barrier, inclusive=op == "final")
+                engine._set_active(None)
+                wall = clock() - started
+                violation = None
+                if lane._deferred:
+                    target, event = lane._deferred[0]
+                    lane._deferred = []
+                    violation = (
+                        f"lane {index} scheduled {event.label or 'an event'}"
+                        f" onto lane {target.index!r} directly; under the "
+                        f"process executor cross-lane effects must travel "
+                        f"as network messages"
+                    )
+                engine._barrier_time = barrier
+                bundles = [hook.take_outbox(index) for hook in hooks]
+                deltas = [hook.collect(index) for hook in hooks]
+                _pipe_send(conn, ("win", bundles, deltas, wall, violation))
+            elif op == "global":
+                _, barrier, pairs_per_hook = command
+                for hook, pairs in zip(hooks, pairs_per_hook):
+                    hook.apply(pairs, index)
+                engine._set_active(glob)
+                glob.run_window(barrier, inclusive=True)
+                engine._set_active(None)
+            elif op == "apply":
+                for hook, pairs in zip(hooks, command[1]):
+                    hook.apply(pairs, index)
+                _pipe_send(conn, ("ok",))
+            elif op == "gather":
+                payloads = [hook.gather(index) for hook in hooks]
+                counters = {}
+                if engine._perf is not None:
+                    counters = {
+                        name: (c.count, c.value)
+                        for name, c in engine._perf.counters.items()
+                        if name not in _ORCHESTRATOR_COUNTERS
+                    }
+                _pipe_send(
+                    conn,
+                    ("data", payloads, lane.events_processed, counters),
+                )
+            elif op == "close":
+                conn.close()
+                return
+    except BaseException:
+        try:
+            _pipe_send(conn, ("error", _traceback.format_exc()))
+        except Exception:
+            pass
+
+
+class _ProcessLanes:
+    """One forked worker per lane: SPMD replication of the global lane.
+
+    Fork (not spawn) is load-bearing: the workers must carry the exact
+    pre-run object graph — closures, RNG states, interned strings,
+    hash seed — so that their global-lane replicas execute
+    bit-identically to the master's.  Workers persist across repeated
+    ``run()`` calls (their lane state *is* the simulation state);
+    :meth:`shutdown` therefore only tears down after a failure, and
+    healthy workers are closed when the engine is garbage-collected
+    (they are daemons, so they can never outlive the master).
+    """
+
+    def __init__(self, engine: ShardedSimulator) -> None:
+        self._engine = engine
+        self._connections: list = []
+        self._processes: list = []
+        self._started = False
+        self._failed = False
+        #: Per-hook bundle lists from the last window, awaiting the
+        #: next round's ``sync``.
+        self._pending: list | None = None
+        #: Per-lane delta lists from the last window (consumed by
+        #: :meth:`before_global`).
+        self._deltas: list | None = None
+        #: name -> (count, value) portion of each master perf counter
+        #: contributed by past worker merges (see :meth:`_merge_perf`).
+        self._perf_extra: dict[str, tuple[int, float]] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            if self._failed:
+                raise SimulationError(
+                    "the process shard executor cannot restart after a "
+                    "worker failure; build a fresh engine"
+                )
+            return
+        from multiprocessing import get_context
+
+        try:
+            context = get_context("fork")
+        except ValueError as error:  # pragma: no cover - non-POSIX
+            raise SimulationError(
+                "the process shard executor needs the 'fork' start "
+                "method (POSIX only): workers must inherit the exact "
+                "pre-run object graph"
+            ) from error
+        engine = self._engine
+        # The master never drains lane heaps from here on.
+        engine._live_lane_indices = frozenset()
+        for lane in engine._lanes:
+            parent, child = context.Pipe()
+            process = context.Process(
+                target=_lane_worker_main,
+                args=(engine, lane.index, child),
+                daemon=True,
+                name=f"shard-worker-{lane.index}",
+            )
+            process.start()
+            child.close()
+            self._connections.append(parent)
+            self._processes.append(process)
+        self._started = True
+
+    def shutdown(self) -> None:
+        # Workers hold live lane state between runs; only a failure
+        # warrants tearing them down mid-session.
+        if self._failed:
+            self._close(kill=True)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self._close(kill=self._failed)
+        except Exception:
+            pass
+
+    def _close(self, kill: bool) -> None:
+        connections, self._connections = self._connections, []
+        processes, self._processes = self._processes, []
+        for conn in connections:
+            if not kill:
+                try:
+                    _pipe_send(conn, ("close",))
+                except Exception:
+                    pass
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for process in processes:
+            if kill and process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+
+    # -- transport -----------------------------------------------------
+    def _send(self, index: int, payload: Any) -> None:
+        try:
+            _pipe_send(
+                self._connections[index], payload, self._engine._perf_ipc
+            )
+        except (BrokenPipeError, OSError):
+            self._dead(index)
+
+    def _recv(self, index: int) -> Any:
+        try:
+            reply = _pipe_recv(
+                self._connections[index], self._engine._perf_ipc
+            )
+        except (EOFError, OSError):
+            self._dead(index)
+        if reply[0] == "error":
+            self._failed = True
+            raise ShardWorkerError(index, reply[1])
+        return reply
+
+    def _dead(self, index: int) -> None:
+        self._failed = True
+        process = self._processes[index]
+        process.join(timeout=1.0)
+        raise ShardWorkerError(
+            index,
+            f"lane worker died without a traceback "
+            f"(exit code {process.exitcode})",
+        )
+
+    # -- protocol rounds -----------------------------------------------
+    def begin_round(self) -> list[float | None]:
+        engine = self._engine
+        transfers = self._pending
+        if transfers is None:
+            transfers = [[] for _ in engine.lane_hooks]
+        self._pending = None
+        count = len(self._connections)
+        for index in range(count):
+            self._send(index, ("sync", transfers))
+        # The master replays the same staging + injection so its
+        # global-lane replica sees the identical message stream.
+        _stage_bundles(engine, transfers)
+        engine._inject()
+        return [self._recv(index)[1] for index in range(count)]
+
+    def run_window(self, barrier: float) -> None:
+        engine = self._engine
+        count = len(self._connections)
+        for index in range(count):
+            self._send(index, ("window", barrier))
+        self._pending, self._deltas = self._collect_windows(count)
+
+    def _collect_windows(self, count: int) -> tuple[list, list]:
+        engine = self._engine
+        pending: list = [[] for _ in engine.lane_hooks]
+        deltas_by_lane: list = []
+        wall_timer = engine._perf_lane_wall
+        for index in range(count):
+            _, bundles, deltas, wall, violation = self._recv(index)
+            if violation is not None:
+                self._failed = True
+                raise SimulationError(violation)
+            if wall_timer is not None:
+                wall_timer.record(wall)
+            for position, bundle in enumerate(bundles):
+                if bundle is not None:
+                    pending[position].append(bundle)
+            deltas_by_lane.append(deltas)
+        return pending, deltas_by_lane
+
+    def before_global(self, barrier: float) -> None:
+        engine = self._engine
+        deltas_by_lane = self._deltas
+        self._deltas = None
+        pairs_per_hook: list = []
+        for position in range(len(engine.lane_hooks)):
+            pairs = []
+            if deltas_by_lane is not None:
+                for lane_index, deltas in enumerate(deltas_by_lane):
+                    pairs.append((lane_index, deltas[position]))
+            pairs_per_hook.append(pairs)
+        for index in range(len(self._connections)):
+            self._send(index, ("global", barrier, pairs_per_hook))
+        for hook, pairs in zip(engine.lane_hooks, pairs_per_hook):
+            hook.apply(pairs, None)
+
+    def finish(self, until: float) -> None:
+        engine = self._engine
+        transfers = self._pending
+        if transfers is None:
+            transfers = [[] for _ in engine.lane_hooks]
+        self._pending = None
+        count = len(self._connections)
+        for index in range(count):
+            self._send(index, ("final", until, transfers))
+        _stage_bundles(engine, transfers)
+        engine._inject()
+        # Outbox bundles from the final inclusive drain are discarded —
+        # matching the serial executor, where messages sent at the
+        # horizon stay in the outbox past the end of the run.  The
+        # deltas still matter: global code (result assembly, a repeated
+        # run) reads state the final drain changed.
+        _, deltas_by_lane = self._collect_windows(count)
+        pairs_per_hook = [
+            [
+                (lane_index, deltas[position])
+                for lane_index, deltas in enumerate(deltas_by_lane)
+            ]
+            for position in range(len(engine.lane_hooks))
+        ]
+        for index in range(count):
+            self._send(index, ("apply", pairs_per_hook))
+        for hook, pairs in zip(engine.lane_hooks, pairs_per_hook):
+            hook.apply(pairs, None)
+        for index in range(count):
+            self._recv(index)
+
+    def collect(self) -> None:
+        if not self._started or self._failed:
+            return
+        engine = self._engine
+        count = len(self._connections)
+        for index in range(count):
+            self._send(index, ("gather",))
+        dumps = []
+        for index in range(count):
+            _, payloads, lane_events, counters = self._recv(index)
+            for hook, payload in zip(engine.lane_hooks, payloads):
+                if payload is not None:
+                    hook.overlay(index, payload)
+            engine._lanes[index]._event_count = lane_events
+            dumps.append(counters)
+        self._merge_perf(dumps)
+
+    def _merge_perf(self, dumps: list[dict]) -> None:
+        """Fold worker perf counters into the master registry.
+
+        Every worker's counter value is (shared pre-fork state) +
+        (replicated global bumps, identical to the master's) + (its own
+        lane's bumps).  ``own = master - extra_prev`` recovers the
+        master-side portion, so ``worker - own`` isolates each lane's
+        contribution — a scheme that survives repeated runs/gathers
+        because ``extra_prev`` tracks exactly what past merges added.
+        Counters only: worker-side timers are either untouched or
+        replicas of the master's.
+        """
+        perf = self._engine._perf
+        if perf is None:
+            return
+        extra = self._perf_extra
+        names: set[str] = set()
+        for dump in dumps:
+            names.update(dump)
+        new_extra = dict(extra)
+        for name in names:
+            counter = perf.counter(name)
+            prev_count, prev_value = extra.get(name, (0, 0.0))
+            own_count = counter.count - prev_count
+            own_value = counter.value - prev_value
+            added_count = 0
+            added_value = 0.0
+            for dump in dumps:
+                if name in dump:
+                    worker_count, worker_value = dump[name]
+                    added_count += worker_count - own_count
+                    added_value += worker_value - own_value
+            counter.count = own_count + added_count
+            counter.value = own_value + added_value
+            new_extra[name] = (added_count, added_value)
+        self._perf_extra = new_extra
+
+
 # ----------------------------------------------------------------------
-# Detached shard workloads (the process executor's domain)
+# Detached shard workloads (the spawn process executor's domain)
 # ----------------------------------------------------------------------
 class ShardContext:
     """What a detached shard builder gets to work with.

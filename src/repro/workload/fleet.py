@@ -90,6 +90,24 @@ class ClientFleet:
         client.join(self._locator(position), position)
         return client
 
+    def _on_owner(self, client: GameClient, action: Callable[[], None]) -> None:
+        """Run *action* in the context that owns *client*'s state.
+
+        On the classic single-kernel substrate the client's sim *is*
+        the fleet's sim and the action runs inline.  On the sharded
+        substrate the client lives on a lane while fleet schedules run
+        on the global lane; mutating the client directly from there
+        would touch foreign-lane state mid-protocol (and, under the
+        process executor, mutate a dead replica copy).  Scheduling the
+        action at the current time on the client's own lane makes it an
+        ordinary lane event, executed exactly once, by the owner.
+        """
+        owner = client.sim
+        if owner is self._sim:
+            action()
+        else:
+            owner.at(self._sim.now, action)
+
     def _random_position(self) -> Vec2:
         world = self._profile.world
         return Vec2(
@@ -227,8 +245,12 @@ class ClientFleet:
             lifetime = self._rng.expovariate(1.0 / session)
 
             def depart() -> None:
-                if client.active:
-                    client.leave()
+                # Re-checked on the owning lane: the client may have
+                # left through another path in the same window.
+                self._on_owner(
+                    client,
+                    lambda: client.leave() if client.active else None,
+                )
 
             self._sim.after(lifetime, depart)
             self._sim.after(interval, arrive)
@@ -265,7 +287,10 @@ class ClientFleet:
             members = self.groups.get(group, [])
             active = [client for client in members if client.active]
             for client in active[:batch_size]:
-                client.leave()
+                self._on_owner(
+                    client,
+                    lambda c=client: c.leave() if c.active else None,
+                )
                 departed.add(client.name)
             # `departed` only decides when the chain may stop; actives
             # are always eligible again, so a client re-activated by a
@@ -285,7 +310,9 @@ class ClientFleet:
 
         def retarget() -> None:
             for client in self.groups.get(group, []):
-                client.retarget(center)
+                self._on_owner(
+                    client, lambda c=client: c.retarget(center)
+                )
 
         self._sim.at(at, retarget)
 

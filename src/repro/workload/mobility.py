@@ -521,10 +521,26 @@ def _build_random_waypoint(
 
 @register_mobility("hotspot")
 def _build_hotspot(
-    env: MobilityEnv, *, center: Vec2, spread: float
+    env: MobilityEnv,
+    *,
+    center: Vec2 | None = None,
+    spread: float | None = None,
 ) -> MobilityBuilder:
+    # Explicit parameters win; a wave spawned with Gaussian placement
+    # may omit them, and the loiter centre defaults to wherever the
+    # group actually landed (its placement centre and spread).
+    if center is None:
+        center = env.center
+    if spread is None:
+        spread = env.spread
+    if center is None or spread is None:
+        raise ValueError(
+            "hotspot mobility needs a centre: pass center/spread "
+            "params or spawn the group with a placement centre"
+        )
+    resolved_center, resolved_spread = center, spread
     return lambda: HotspotMobility(
-        env.world, center, spread, env.speed, env.child_rng()
+        env.world, resolved_center, resolved_spread, env.speed, env.child_rng()
     )
 
 

@@ -99,6 +99,25 @@ def test_every_degrade_window_is_closed():
         assert recoveries >= degrades
 
 
+def test_parameterized_mobility_kinds_are_sampled():
+    """The generator explores every registered movement model — the
+    parameterized ones (commuter/flock/pursuit/hotspot) included —
+    with knobs drawn from the fuzz stream; the hotspot model only
+    rides waves that have a placement centre to anchor to."""
+    kinds = set()
+    for seed in range(60):
+        for phase in generate_scenario(seed).phases:
+            mobility = getattr(phase, "mobility", None)
+            if mobility is None:
+                continue
+            kinds.add(mobility.kind)
+            if mobility.kind == "hotspot":
+                assert phase.center is not None
+            if mobility.kind == "commuter":
+                assert mobility.params["stops"] >= 2
+    assert {"commuter", "flock", "pursuit", "hotspot"} <= kinds
+
+
 def test_workload_default_has_no_faults():
     for seed in SEEDS:
         assert not any(

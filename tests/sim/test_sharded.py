@@ -21,7 +21,11 @@ from repro.harness.compare import scaled_profile
 from repro.harness.runner import run_scenario
 from repro.harness.shards import token_ring_builder
 from repro.sim.kernel import SimulationError
-from repro.sim.sharded import ShardedSimulator, run_sharded_workload
+from repro.sim.sharded import (
+    ShardedSimulator,
+    ShardWorkerError,
+    run_sharded_workload,
+)
 from repro.workload.scenarios import build_scenario
 
 
@@ -32,8 +36,8 @@ class TestShardedSimulatorFacade:
     def test_validation(self):
         with pytest.raises(SimulationError):
             ShardedSimulator(0)
-        with pytest.raises(SimulationError):
-            ShardedSimulator(2, executor="process")
+        with pytest.raises(SimulationError, match="executor"):
+            ShardedSimulator(2, executor="quantum")
 
     def test_run_requires_positive_lookahead(self):
         engine = ShardedSimulator(2)
@@ -260,8 +264,9 @@ def matrix_row(
 class TestMatrixShardDeterminism:
     def test_fig2_hotspot_identical_at_any_shard_count(self):
         """Byte-identical TrafficStats (canonical digest) and event
-        totals for shards=1 vs shards=4, serial and thread executors,
-        through the split cascade of the paper's §4.1 hotspot."""
+        totals for shards=1 vs shards ∈ {2, 4}, serial, thread and
+        process executors, through the split cascade of the paper's
+        §4.1 hotspot."""
         reference = matrix_row("fig2-hotspot", 0.2, 40.0, shards=1)
         assert reference["events"] > 0
         assert reference["traffic_digest"]
@@ -270,6 +275,14 @@ class TestMatrixShardDeterminism:
             matrix_row("fig2-hotspot", 0.2, 40.0, shards=4, executor="thread")
             == reference
         )
+        for shards in (2, 4):
+            assert (
+                matrix_row(
+                    "fig2-hotspot", 0.2, 40.0,
+                    shards=shards, executor="process",
+                )
+                == reference
+            )
 
     def test_steady_churn_identical_at_any_shard_count(self):
         """Same bar under membership churn (joins/leaves dominate)."""
@@ -304,3 +317,107 @@ class TestMatrixShardDeterminism:
                 seed=3,
                 shards=2,
             )
+
+    def test_link_degrade_chaos_identical_under_process_executor(self):
+        """Barrier-aligned LinkDegrade windows survive sharding: the
+        lossy-wan chaos scenario produces byte-identical traffic AND an
+        identical fault report under the forked process executor."""
+
+        def chaos_row(shards: int, executor: str) -> dict:
+            scenario = build_scenario("lossy-wan")
+            scale = 0.15
+            profile = scaled_profile(profile_by_name(scenario.game), scale)
+            outcome = run_scenario(
+                scenario,
+                profile=profile,
+                scale=scale,
+                preview=25.0,
+                policy=LoadPolicyConfig().scaled(scale),
+                seed=3,
+                shards=shards,
+                shard_executor=executor,
+            )
+            report = outcome.experiment.chaos.report()
+            return {
+                "traffic_digest": (
+                    outcome.result.traffic.canonical_digest()
+                ),
+                "events": outcome.result.events_processed,
+                "link_dropped": report.link_dropped,
+                "link_duplicated": report.link_duplicated,
+                "faults": tuple(
+                    (fault.fault, fault.at, fault.status)
+                    for fault in report.faults
+                ),
+            }
+
+        reference = chaos_row(1, "serial")
+        assert reference["events"] > 0
+        assert reference["link_dropped"] > 0
+        assert chaos_row(2, "process") == reference
+
+
+# ----------------------------------------------------------------------
+# Process-executor engine behaviour
+# ----------------------------------------------------------------------
+class TestProcessExecutor:
+    def test_engine_counters_match_serial(self):
+        """Closure side effects stay in the forked workers by design —
+        what ships back is engine state: merged per-lane event counts
+        and the (executor-independent) window grid.  The Matrix tests
+        above prove full-result identity through the lane hooks."""
+        counts = {}
+        for executor in ("serial", "process"):
+            engine = ShardedSimulator(3, lookahead=0.5, executor=executor)
+
+            def install(lane_index: int) -> None:
+                lane = engine.lane(lane_index)
+
+                def tick():
+                    if engine.now < 2.0:
+                        lane.after(0.3, tick)
+
+                lane.at(0.1 * (lane_index + 1), tick)
+
+            for lane_index in range(3):
+                install(lane_index)
+            engine.run(until=3.0)
+            counts[executor] = (engine.events_processed, engine.windows_run)
+        assert counts["serial"] == counts["process"]
+        assert counts["serial"][0] > 0
+
+    def test_worker_crash_raises_traceback_carrying_error(self):
+        """A lane handler blowing up inside a forked worker surfaces as
+        a ShardWorkerError naming the lane and carrying the worker's
+        traceback (mirroring GridTaskError) — never a hang."""
+        engine = ShardedSimulator(2, lookahead=0.5, executor="process")
+
+        def boom():
+            raise RuntimeError("boom in lane one")
+
+        engine.lane(0).at(1.0, lambda: None)
+        engine.lane(1).at(1.0, boom)
+        with pytest.raises(ShardWorkerError) as excinfo:
+            engine.run(until=2.0)
+        assert excinfo.value.lane == 1
+        assert "boom in lane one" in excinfo.value.worker_traceback
+        # The engine refuses to restart on top of dead workers.
+        with pytest.raises(SimulationError, match="worker failure"):
+            engine.run(until=3.0)
+
+    def test_perf_counters_cover_process_lanes(self):
+        from repro.perf import PerfRegistry
+
+        perf = PerfRegistry()
+        engine = ShardedSimulator(
+            2, lookahead=0.5, executor="process", perf=perf
+        )
+        for lane in range(2):
+            engine.lane(lane).at(0.5 + lane * 0.1, lambda: None)
+        engine.run(until=2.0)
+        snapshot = perf.snapshot()
+        counters = snapshot["counters"]
+        assert counters["shard.windows"]["count"] == engine.windows_run
+        assert counters["shard.window_span"]["value"] > 0
+        assert counters["shard.ipc_bytes"]["value"] > 0
+        assert snapshot["timers"]["shard.lane_wall"]["count"] > 0
